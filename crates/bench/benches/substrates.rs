@@ -1,0 +1,91 @@
+//! Criterion benches for the substrate layers: the LIA solver, the
+//! explicit-state counter system, and guard analysis. These are not in
+//! the paper's Table 2; they are ablation-style measurements of the
+//! components this reproduction had to build in place of Z3 and ByMC's
+//! internals.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use holistic_checker::GuardInfo;
+use holistic_lia::{Constraint, LinExpr, Solver};
+use holistic_models::{BvBroadcastModel, SimplifiedConsensusModel};
+use holistic_ta::CounterSystem;
+
+fn bench_lia(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/lia");
+
+    group.bench_function("feasible_chain_50", |b| {
+        // x1 <= x2 <= ... <= x50, x50 <= 100, sum >= 500.
+        b.iter_batched(
+            Solver::new,
+            |mut solver| {
+                let vars: Vec<_> = (0..50)
+                    .map(|i| solver.new_nonneg_var(format!("x{i}")))
+                    .collect();
+                for w in vars.windows(2) {
+                    solver.assert_constraint(Constraint::le(
+                        LinExpr::var(w[0]),
+                        LinExpr::var(w[1]),
+                    ));
+                }
+                solver.assert_constraint(Constraint::le(
+                    LinExpr::var(vars[49]),
+                    LinExpr::constant(100),
+                ));
+                let mut sum = LinExpr::zero();
+                for &v in &vars {
+                    sum += LinExpr::var(v);
+                }
+                solver.assert_constraint(Constraint::ge(sum, LinExpr::constant(500)));
+                assert!(solver.check().is_sat());
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("infeasible_parity", |b| {
+        // 2x + 4y + 6z == 101 (GCD-tightened to false instantly).
+        b.iter_batched(
+            Solver::new,
+            |mut solver| {
+                let x = solver.new_var("x");
+                let y = solver.new_var("y");
+                let z = solver.new_var("z");
+                let mut e = LinExpr::term(x, 2);
+                e += LinExpr::term(y, 4);
+                e += LinExpr::term(z, 6);
+                solver.assert_constraint(Constraint::eq(e, LinExpr::constant(101)));
+                assert!(solver.check().is_unsat());
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_counter_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/counter_system");
+    group.sample_size(10);
+    let bv = BvBroadcastModel::new();
+    group.bench_function("bv_broadcast_explore_n4", |b| {
+        b.iter(|| {
+            let sys = CounterSystem::new(&bv.ta, &[4, 1, 1]).unwrap();
+            let ex = sys.explore(1_000_000);
+            assert!(ex.complete());
+            ex.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_guard_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/guard_analysis");
+    group.sample_size(10);
+    let simplified = SimplifiedConsensusModel::new();
+    group.bench_function("simplified_10_guards", |b| {
+        b.iter(|| GuardInfo::analyse(&simplified.ta).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lia, bench_counter_system, bench_guard_analysis);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion benches for the Table 2 verification tasks.
+//!
+//! Each bench measures one property's full parameterized verification
+//! (guard analysis + schedule DFS + SMT). The multi-second properties
+//! (`Inv1_0`, `SRoundTerm` on the simplified automaton, and everything
+//! on the naive automaton) are exercised once by the `table2` binary
+//! instead of being iterated here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holistic_checker::{Checker, CheckerConfig, Strategy};
+use holistic_models::{BvBroadcastModel, NaiveConsensusModel, SimplifiedConsensusModel};
+
+fn bench_bv_broadcast(c: &mut Criterion) {
+    let model = BvBroadcastModel::new();
+    let justice = model.justice();
+    let checker = Checker::new();
+    let mut group = c.benchmark_group("table2/bv_broadcast");
+    group.sample_size(10);
+    for (name, spec) in model.table2_specs() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = checker.check_ltl(&model.ta, &spec, &justice).unwrap();
+                assert!(report.verdict().is_verified());
+                report.total_schemas()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simplified_fast(c: &mut Criterion) {
+    let model = SimplifiedConsensusModel::new();
+    let justice = model.justice();
+    let checker = Checker::new();
+    let mut group = c.benchmark_group("table2/simplified_consensus");
+    group.sample_size(10);
+    for (name, spec) in [
+        ("Inv2_0", model.inv2(0)),
+        ("Good_0", model.good(0)),
+        ("Dec_0", model.dec(0)),
+        ("Inv2_1", model.inv2(1)),
+        ("Dec_1", model.dec(1)),
+        ("Good_1", model.good(1)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = checker.check_ltl(&model.ta, &spec, &justice).unwrap();
+                assert!(report.verdict().is_verified());
+                report.total_schemas()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_counterexample(c: &mut Criterion) {
+    // The §6 experiment: a counterexample to Inv1_0 when the resilience
+    // condition is weakened to n > 2t (paper: ~4 s with ByMC).
+    let model = SimplifiedConsensusModel::with_resilience(2);
+    let justice = model.justice();
+    let checker = Checker::new();
+    let mut group = c.benchmark_group("table2/counterexample");
+    group.sample_size(10);
+    group.bench_function("Inv1_0_weak_resilience", |b| {
+        b.iter(|| {
+            let report = checker.check_ltl(&model.ta, &model.inv1(0), &justice).unwrap();
+            assert!(report.verdict().is_violated());
+        })
+    });
+    group.finish();
+}
+
+fn bench_naive_explosion(c: &mut Criterion) {
+    // Time to *detect* the explosion (hit a small schema cap) on the
+    // naive automaton — the reproduction of the timeout row.
+    let model = NaiveConsensusModel::new();
+    let justice = model.justice();
+    let checker = Checker::with_config(CheckerConfig {
+        max_schemas: 15,
+        strategy: Strategy::Enumerate,
+        ..CheckerConfig::default()
+    });
+    let mut group = c.benchmark_group("table2/naive_explosion");
+    group.sample_size(10);
+    group.bench_function("Inv2_0_cap15", |b| {
+        b.iter(|| {
+            let report = checker.check_ltl(&model.ta, &model.inv2(0), &justice).unwrap();
+            report.total_schemas()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bv_broadcast,
+    bench_simplified_fast,
+    bench_counterexample,
+    bench_naive_explosion
+);
+criterion_main!(benches);

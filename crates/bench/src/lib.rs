@@ -1,0 +1,226 @@
+//! # holistic-bench — the Table 2 harness
+//!
+//! The paper's evaluation is a single table (Table 2): per automaton and
+//! property, the number of schemas, the average schema length, and the
+//! verification time; the naive consensus automaton times out while the
+//! decomposed approach finishes in under 70 seconds.
+//!
+//! * the [`table2`](bv_broadcast_rows) API produces the same rows from
+//!   this reproduction's checker (the `table2` binary prints them);
+//! * the Criterion benches (`cargo bench -p holistic-bench`) measure the
+//!   fast properties per-iteration and the substrate layers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::Duration;
+
+use holistic_checker::{Checker, CheckerConfig, Strategy, Verdict};
+use holistic_models::{BvBroadcastModel, NaiveConsensusModel, SimplifiedConsensusModel};
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Automaton block (`bv-broadcast`, `naive consensus`,
+    /// `simplified consensus`).
+    pub automaton: &'static str,
+    /// Automaton size `(unique guards, locations, rules)`.
+    pub size: (usize, usize, usize),
+    /// Property name.
+    pub property: String,
+    /// Verdict.
+    pub verdict: Verdict,
+    /// Number of schemas.
+    pub schemas: usize,
+    /// Whether the schema count is a lower bound (cap hit).
+    pub schemas_capped: bool,
+    /// Average schema length.
+    pub avg_segments: f64,
+    /// Wall-clock time.
+    pub time: Duration,
+    /// What the paper reports for this row (for EXPERIMENTS.md).
+    pub paper: &'static str,
+}
+
+/// Runs the bv-broadcast block of Table 2.
+pub fn bv_broadcast_rows(checker: &Checker) -> Vec<Table2Row> {
+    let model = BvBroadcastModel::new();
+    let justice = model.justice();
+    let paper = [
+        ("BV-Just0", "90 schemas, len 54, 5.61s"),
+        ("BV-Obl0", "90 schemas, len 79, 6.87s"),
+        ("BV-Unif0", "760 schemas, len 97, 27.64s"),
+        ("BV-Term", "90 schemas, len 79, 6.75s"),
+    ];
+    model
+        .table2_specs()
+        .into_iter()
+        .zip(paper)
+        .map(|((name, spec), (_, paper))| {
+            let report = checker
+                .check_ltl(&model.ta, &spec, &justice)
+                .expect("bv-broadcast model in fragment");
+            Table2Row {
+                automaton: "bv-broadcast (Fig. 2)",
+                size: model.ta.size_summary(),
+                property: name.to_owned(),
+                verdict: report.verdict(),
+                schemas: report.total_schemas(),
+                schemas_capped: false,
+                avg_segments: report.avg_segments(),
+                time: report.duration,
+                paper,
+            }
+        })
+        .collect()
+}
+
+/// Runs the simplified-consensus block of Table 2.
+pub fn simplified_rows(checker: &Checker) -> Vec<Table2Row> {
+    let model = SimplifiedConsensusModel::new();
+    let justice = model.justice();
+    let paper = [
+        ("Inv1_0", "6 schemas, len 102, 4.68s"),
+        ("Inv2_0", "2 schemas, len 73, 4.56s"),
+        ("SRoundTerm", "2 schemas, len 109, 4.13s"),
+        ("Good_0", "2 schemas, len 67, 4.55s"),
+        ("Dec_0", "2 schemas, len 73, 4.62s"),
+    ];
+    model
+        .table2_specs()
+        .into_iter()
+        .zip(paper)
+        .map(|((name, spec), (_, paper))| {
+            let report = checker
+                .check_ltl(&model.ta, &spec, &justice)
+                .expect("simplified model in fragment");
+            Table2Row {
+                automaton: "simplified consensus (Fig. 4)",
+                size: model.ta.size_summary(),
+                property: name.to_owned(),
+                verdict: report.verdict(),
+                schemas: report.total_schemas(),
+                schemas_capped: false,
+                avg_segments: report.avg_segments(),
+                time: report.duration,
+                paper,
+            }
+        })
+        .collect()
+}
+
+/// Runs the naive-consensus block of Table 2 with the given schema cap:
+/// like ByMC on a 64-core machine, the checker cannot finish — the DFS
+/// blows through the cap, reproducing the `>100 000 schemas, >24h` rows.
+pub fn naive_rows(cap: usize) -> Vec<Table2Row> {
+    let model = NaiveConsensusModel::new();
+    let justice = model.justice();
+    let checker = Checker::with_config(CheckerConfig {
+        max_schemas: cap,
+        strategy: Strategy::Enumerate,
+        ..CheckerConfig::default()
+    });
+    // The paper could not verify any of the three within a day. This
+    // reproduction's feasibility-pruned DFS actually *finishes* Inv2_0
+    // (its □-emptiness premise collapses the lattice) and blows the cap
+    // on the other two — the shape of the explosion is preserved where
+    // it exists.
+    let paper = [
+        ("Inv1_0", ">100 000 schemas, >24h (timeout)"),
+        ("Inv2_0", ">100 000 schemas, >24h (timeout)"),
+        ("SRoundTerm", ">100 000 schemas, >24h (timeout)"),
+    ];
+    model
+        .table2_specs()
+        .into_iter()
+        .zip(paper)
+        .map(|((name, spec), (_, paper))| {
+            let report = checker
+                .check_ltl(&model.ta, &spec, &justice)
+                .expect("naive model in fragment");
+            let capped = matches!(report.verdict(), Verdict::Unknown(_));
+            Table2Row {
+                automaton: "naive consensus (Fig. 3)",
+                size: model.ta.size_summary(),
+                property: name.to_owned(),
+                verdict: report.verdict(),
+                schemas: report.total_schemas(),
+                schemas_capped: capped,
+                avg_segments: report.avg_segments(),
+                time: report.duration,
+                paper,
+            }
+        })
+        .collect()
+}
+
+/// Formats rows as an aligned text table.
+pub fn render(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<40} {:<12} {:<10} {:>9} {:>8} {:>12}   {}\n",
+        "TA (guards/locs/rules)",
+        "property",
+        "verdict",
+        "#schemas",
+        "avg len",
+        "time",
+        "paper reports"
+    ));
+    for r in rows {
+        let verdict = match &r.verdict {
+            Verdict::Verified => "verified".to_owned(),
+            Verdict::Violated(_) => "VIOLATED".to_owned(),
+            Verdict::Unknown(_) => "gave up".to_owned(),
+        };
+        let schemas = if r.schemas_capped {
+            format!(">{}", r.schemas)
+        } else {
+            r.schemas.to_string()
+        };
+        out.push_str(&format!(
+            "{:<40} {:<12} {:<10} {:>9} {:>8.1} {:>12.2?}   {}\n",
+            format!("{} {}/{}/{}", r.automaton, r.size.0, r.size.1, r.size.2),
+            r.property,
+            verdict,
+            schemas,
+            r.avg_segments,
+            r.time,
+            r.paper,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bv_rows_all_verified() {
+        let checker = Checker::new();
+        let rows = bv_broadcast_rows(&checker);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.verdict.is_verified(), "{}", r.property);
+        }
+        let table = render(&rows);
+        assert!(table.contains("BV-Unif0"), "{table}");
+    }
+
+    #[test]
+    fn naive_rows_show_the_explosion() {
+        // Tiny cap: enough to show the explosion signal quickly. Inv2_0
+        // is the exception — its globally-empty premise collapses the
+        // lattice and it verifies outright (beyond the paper).
+        let rows = naive_rows(40);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            if r.property == "Inv2_0" {
+                assert!(r.verdict.is_verified(), "Inv2_0 verifies even naively");
+            } else {
+                assert!(r.schemas_capped, "{} should hit the cap", r.property);
+            }
+        }
+    }
+}

@@ -1,0 +1,720 @@
+//! The parameterized model checker: public API and strategy driver.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use holistic_lia::{SatResult, SolverConfig};
+use holistic_ltl::{classify, stability, FragmentError, Justice, Ltl, Prop, Query};
+use holistic_ta::{LocationId, ThresholdAutomaton, ValidationError};
+
+use crate::counterexample::{Counterexample, ReplayError};
+use crate::encode::{Encoding, SegmentKind};
+use crate::guards::{GuardError, GuardInfo};
+
+/// How schemas are generated for the SMT backend.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Run the pruned schedule DFS; fall back to
+    /// [`Strategy::Monolithic`] if it hits the schema cap.
+    #[default]
+    Auto,
+    /// Depth-first enumeration of monotone context schedules with
+    /// incremental SMT feasibility pruning (one query per feasible
+    /// schedule prefix) — the POPL'17 style; yields the per-property
+    /// schema counts of the paper's Table 2.
+    Enumerate,
+    /// A single SMT query with symbolic contexts (`#guards + 1`
+    /// segments, conditional guard constraints) — acceleration in the
+    /// Para² style.
+    Monolithic,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Auto => write!(f, "auto"),
+            Strategy::Enumerate => write!(f, "enumerate"),
+            Strategy::Monolithic => write!(f, "monolithic"),
+        }
+    }
+}
+
+/// Configuration of a [`Checker`].
+#[derive(Clone, Debug)]
+pub struct CheckerConfig {
+    /// Cap on schemas explored by the DFS; beyond it, `Auto` falls back
+    /// to the monolithic strategy and `Enumerate` reports `Unknown`.
+    /// The paper's naive consensus automaton exceeds any practical cap
+    /// (its Table 2 row reads ">100 000 schemas, timeout").
+    pub max_schemas: usize,
+    /// Budgets for each SMT query.
+    pub solver: SolverConfig,
+    /// Strategy selection.
+    pub strategy: Strategy,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> CheckerConfig {
+        CheckerConfig {
+            max_schemas: 100_000,
+            solver: SolverConfig::default(),
+            strategy: Strategy::Auto,
+        }
+    }
+}
+
+/// The verdict for one property (or query).
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// The property holds for **all** parameters admitted by the
+    /// resilience condition.
+    Verified,
+    /// The property fails; a validated counterexample is attached.
+    Violated(Box<Counterexample>),
+    /// No verdict (solver budget or schema cap exhausted).
+    Unknown(String),
+}
+
+impl Verdict {
+    /// Whether the verdict is `Verified`.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Verdict::Verified)
+    }
+
+    /// Whether the verdict is `Violated`.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, Verdict::Violated(_))
+    }
+
+    /// The counterexample, if violated.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Verdict::Violated(ce) => Some(ce),
+            _ => None,
+        }
+    }
+}
+
+/// Statistics for one query, mirroring the columns of the paper's
+/// Table 2.
+#[derive(Clone, Debug)]
+pub struct QueryStats {
+    /// Number of schemas (feasible schedule prefixes / SMT queries).
+    pub schemas: usize,
+    /// Average schema length (number of segments).
+    pub avg_segments: f64,
+    /// Wall-clock time.
+    pub duration: Duration,
+    /// Whether the DFS hit the schema cap.
+    pub capped: bool,
+    /// The strategy actually used.
+    pub strategy: Strategy,
+}
+
+/// The outcome of checking a single [`Query`].
+#[derive(Clone, Debug)]
+pub struct QueryReport {
+    /// Verdict.
+    pub verdict: Verdict,
+    /// Statistics.
+    pub stats: QueryStats,
+}
+
+/// The outcome of checking an LTL property (one report per top-level
+/// conjunct query).
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Per-query reports.
+    pub queries: Vec<QueryReport>,
+    /// Total wall-clock time.
+    pub duration: Duration,
+}
+
+impl CheckReport {
+    /// The combined verdict: `Violated` dominates, then `Unknown`, then
+    /// `Verified`.
+    pub fn verdict(&self) -> Verdict {
+        for q in &self.queries {
+            if q.verdict.is_violated() {
+                return q.verdict.clone();
+            }
+        }
+        for q in &self.queries {
+            if let Verdict::Unknown(r) = &q.verdict {
+                return Verdict::Unknown(r.clone());
+            }
+        }
+        Verdict::Verified
+    }
+
+    /// Total schemas across queries.
+    pub fn total_schemas(&self) -> usize {
+        self.queries.iter().map(|q| q.stats.schemas).sum()
+    }
+
+    /// Average schema length across queries.
+    pub fn avg_segments(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries.iter().map(|q| q.stats.avg_segments).sum::<f64>() / self.queries.len() as f64
+    }
+}
+
+/// Errors that prevent checking altogether (as opposed to `Unknown`
+/// verdicts).
+#[derive(Debug)]
+pub enum CheckError {
+    /// The automaton failed validation.
+    Validation(ValidationError),
+    /// The automaton is not a DAG (plus self-loops), which the schema
+    /// theory requires.
+    NotDag,
+    /// Guard analysis failed (fall guards, too many guards).
+    Guard(GuardError),
+    /// The property is outside the checkable fragment.
+    Fragment(FragmentError),
+    /// A satisfying model failed concrete replay — an internal
+    /// encoding/semantics mismatch.
+    Replay(ReplayError),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Validation(e) => write!(f, "invalid automaton: {e}"),
+            CheckError::NotDag => write!(
+                f,
+                "automaton has a cycle among proper rules; the schema method needs a DAG"
+            ),
+            CheckError::Guard(e) => write!(f, "guard analysis: {e}"),
+            CheckError::Fragment(e) => write!(f, "{e}"),
+            CheckError::Replay(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<ValidationError> for CheckError {
+    fn from(e: ValidationError) -> CheckError {
+        CheckError::Validation(e)
+    }
+}
+
+impl From<GuardError> for CheckError {
+    fn from(e: GuardError) -> CheckError {
+        CheckError::Guard(e)
+    }
+}
+
+impl From<FragmentError> for CheckError {
+    fn from(e: FragmentError) -> CheckError {
+        CheckError::Fragment(e)
+    }
+}
+
+impl From<ReplayError> for CheckError {
+    fn from(e: ReplayError) -> CheckError {
+        CheckError::Replay(e)
+    }
+}
+
+/// The parameterized model checker.
+///
+/// # Examples
+///
+/// ```
+/// use holistic_checker::Checker;
+/// use holistic_ltl::{Justice, Ltl, Prop};
+/// use holistic_ta::parse_ta;
+///
+/// let ta = parse_ta(
+///     "automaton echo {
+///          params n, t, f;
+///          shared e;
+///          resilience n > 3t, t >= f, f >= 0;
+///          processes n - f;
+///          initial V;
+///          final D;
+///          rule send: V -> D when true do e += 1;
+///      }",
+/// )?;
+/// let v = ta.location_by_name("V").unwrap();
+/// // Termination: eventually everyone has sent (left V).
+/// let spec = Ltl::eventually(Ltl::state(Prop::loc_empty(v)));
+/// let checker = Checker::new();
+/// let report = checker.check_ltl(&ta, &spec, &Justice::from_rules(&ta))?;
+/// assert!(report.verdict().is_verified());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Checker {
+    config: CheckerConfig,
+}
+
+impl Checker {
+    /// A checker with default configuration.
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// A checker with explicit configuration.
+    pub fn with_config(config: CheckerConfig) -> Checker {
+        Checker { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CheckerConfig {
+        &self.config
+    }
+
+    /// Checks an LTL property of the automaton for **all** parameter
+    /// valuations admitted by the resilience condition, under the given
+    /// justice assumption (used by liveness queries only).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError`] when the automaton or formula is outside the
+    /// supported class; budget problems surface as
+    /// [`Verdict::Unknown`] instead.
+    pub fn check_ltl(
+        &self,
+        ta: &ThresholdAutomaton,
+        formula: &Ltl,
+        justice: &Justice,
+    ) -> Result<CheckReport, CheckError> {
+        let start = Instant::now();
+        ta.validate()?;
+        if !ta.is_dag() {
+            return Err(CheckError::NotDag);
+        }
+        let queries = classify(ta, formula)?;
+        let mut reports = Vec::with_capacity(queries.len());
+        for q in &queries {
+            reports.push(self.run_query(ta, q, justice)?);
+        }
+        Ok(CheckReport {
+            queries: reports,
+            duration: start.elapsed(),
+        })
+    }
+
+    /// Checks a single pre-classified query.
+    ///
+    /// # Errors
+    ///
+    /// See [`check_ltl`](Checker::check_ltl).
+    pub fn check_query(
+        &self,
+        ta: &ThresholdAutomaton,
+        query: &Query,
+        justice: &Justice,
+    ) -> Result<QueryReport, CheckError> {
+        ta.validate()?;
+        if !ta.is_dag() {
+            return Err(CheckError::NotDag);
+        }
+        self.run_query(ta, query, justice)
+    }
+
+    fn run_query(
+        &self,
+        ta: &ThresholdAutomaton,
+        query: &Query,
+        justice: &Justice,
+    ) -> Result<QueryReport, CheckError> {
+        let start = Instant::now();
+        let plan = QueryPlan::new(ta, query, justice);
+        // The context vocabulary is the automaton's rule guards: schema
+        // contexts decide their truth at the tail, so justice and tail
+        // propositions over them partially evaluate into plain
+        // conjunctions. (Threshold atoms that appear only in the
+        // property/justice — e.g. BV-Obligation's `b0 ≥ t+1` — stay
+        // symbolic: adding them to the vocabulary would blow up the
+        // schedule lattice for no pruning gain.)
+        let info = GuardInfo::analyse(ta)?;
+        match self.config.strategy {
+            Strategy::Monolithic => self.run_monolithic(ta, &info, &plan, start),
+            Strategy::Enumerate | Strategy::Auto => self.run_dfs(ta, &info, &plan, start),
+        }
+    }
+
+    /// Depth-first schedule exploration with incremental feasibility
+    /// pruning: a schedule prefix whose base constraints are already
+    /// unsatisfiable cannot support any extension (extensions only add
+    /// constraints), so its whole subtree is skipped.
+    fn run_dfs(
+        &self,
+        ta: &ThresholdAutomaton,
+        info: &GuardInfo,
+        plan: &QueryPlan,
+        start: Instant,
+    ) -> Result<QueryReport, CheckError> {
+        let mut enc = Encoding::new(ta, info, &plan.globally_empty, self.config.solver);
+        enc.assert_prop_at(&plan.initially, 0);
+        let copies = plan.witnesses.len() + 1;
+
+        let full: u64 = if info.len() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << info.len()) - 1
+        };
+        let mut dfs = Dfs {
+            checker: self,
+            ta,
+            info,
+            plan,
+            copies,
+            full,
+            schemas: 0,
+            total_segments: 0,
+            capped: false,
+            violation: None,
+            unknown: None,
+            frontier: Vec::new(),
+        };
+
+        // Initial contexts: closed subsets of the initially-possible
+        // guards (usually just ∅).
+        let mut initial_contexts = Vec::new();
+        let universe = info.initially_possible;
+        let mut sub = universe;
+        loop {
+            if info.is_closed(sub) {
+                initial_contexts.push(sub);
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & universe;
+        }
+        initial_contexts.sort_unstable();
+
+        for &c0 in &initial_contexts {
+            enc.push_segments(SegmentKind::Fixed(c0), copies);
+            dfs.recurse(&mut enc, c0, 0)?;
+            enc.pop_segments();
+            if dfs.violation.is_some() || dfs.capped {
+                break;
+            }
+        }
+
+        // Drain the parallel frontier: subtrees cut off at depth
+        // PARALLEL_DEPTH are explored by worker threads, each with its
+        // own encoding.
+        if dfs.violation.is_none() && !dfs.capped && !dfs.frontier.is_empty() {
+            let frontier = std::mem::take(&mut dfs.frontier);
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(frontier.len());
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            let results: std::sync::Mutex<Vec<Dfs<'_>>> = std::sync::Mutex::new(Vec::new());
+            let next_ref = &next;
+            let stop_ref = &stop;
+            let results_ref = &results;
+            let frontier_ref = &frontier;
+            let plan_ref = plan;
+            let checker = self;
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(move || {
+                        let mut worker = Dfs {
+                            checker,
+                            ta,
+                            info,
+                            plan: plan_ref,
+                            copies,
+                            full,
+                            schemas: 0,
+                            total_segments: 0,
+                            capped: false,
+                            violation: None,
+                            unknown: None,
+                            frontier: Vec::new(),
+                        };
+                        let mut enc =
+                            Encoding::new(ta, info, &plan_ref.globally_empty, checker.config.solver);
+                        enc.assert_prop_at(&plan_ref.initially, 0);
+                        loop {
+                            let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= frontier_ref.len()
+                                || stop_ref.load(std::sync::atomic::Ordering::Relaxed)
+                            {
+                                break;
+                            }
+                            let prefix = &frontier_ref[i];
+                            for &ctx in prefix {
+                                enc.push_segments(SegmentKind::Fixed(ctx), copies);
+                            }
+                            // Workers never re-split: depth starts past
+                            // the split threshold.
+                            let r = worker.recurse(&mut enc, *prefix.last().unwrap(), usize::MAX);
+                            for _ in prefix {
+                                enc.pop_segments();
+                            }
+                            if r.is_err() || worker.violation.is_some() || worker.capped {
+                                stop_ref.store(true, std::sync::atomic::Ordering::Relaxed);
+                                if let Err(e) = r {
+                                    worker.unknown.get_or_insert(format!("worker error: {e}"));
+                                }
+                                break;
+                            }
+                        }
+                        results_ref.lock().unwrap().push(worker);
+                    });
+                }
+            });
+            for w in results.into_inner().unwrap() {
+                dfs.schemas += w.schemas;
+                dfs.total_segments += w.total_segments;
+                dfs.capped |= w.capped;
+                if dfs.violation.is_none() {
+                    dfs.violation = w.violation;
+                }
+                if dfs.unknown.is_none() {
+                    dfs.unknown = w.unknown;
+                }
+            }
+        }
+
+        let stats = QueryStats {
+            schemas: dfs.schemas,
+            avg_segments: if dfs.schemas == 0 {
+                0.0
+            } else {
+                dfs.total_segments as f64 / dfs.schemas as f64
+            },
+            duration: start.elapsed(),
+            capped: dfs.capped,
+            strategy: Strategy::Enumerate,
+        };
+        let verdict = if let Some(ce) = dfs.violation {
+            Verdict::Violated(Box::new(ce))
+        } else if dfs.capped {
+            Verdict::Unknown(format!(
+                "schedule DFS exceeded the cap of {} schemas",
+                self.config.max_schemas
+            ))
+        } else if let Some(reason) = dfs.unknown {
+            Verdict::Unknown(reason)
+        } else {
+            Verdict::Verified
+        };
+        Ok(QueryReport { verdict, stats })
+    }
+
+    fn run_monolithic(
+        &self,
+        ta: &ThresholdAutomaton,
+        info: &GuardInfo,
+        plan: &QueryPlan,
+        start: Instant,
+    ) -> Result<QueryReport, CheckError> {
+        let num_segments = info.len() + 1 + plan.witnesses.len();
+        let segments = vec![SegmentKind::Free; num_segments];
+        let mut enc =
+            Encoding::with_segments(ta, info, &segments, &plan.globally_empty, self.config.solver);
+        enc.assert_prop_at(&plan.initially, 0);
+        plan.assert_query(&mut enc, info);
+        let result = enc.check();
+        let stats = QueryStats {
+            schemas: 1,
+            avg_segments: num_segments as f64,
+            duration: start.elapsed(),
+            capped: false,
+            strategy: Strategy::Monolithic,
+        };
+        let verdict = match result {
+            SatResult::Sat(model) => {
+                let run = enc.extract(&model);
+                Verdict::Violated(Box::new(Counterexample::replay(ta, &run)?))
+            }
+            SatResult::Unsat => Verdict::Verified,
+            SatResult::Unknown(reason) => Verdict::Unknown(reason.to_string()),
+        };
+        Ok(QueryReport { verdict, stats })
+    }
+}
+
+struct Dfs<'a> {
+    checker: &'a Checker,
+    ta: &'a ThresholdAutomaton,
+    info: &'a GuardInfo,
+    plan: &'a QueryPlan,
+    copies: usize,
+    full: u64,
+    schemas: usize,
+    total_segments: usize,
+    capped: bool,
+    violation: Option<Counterexample>,
+    unknown: Option<String>,
+    /// Subtree roots deferred to the worker pool (context prefixes,
+    /// excluding the synthetic root).
+    frontier: Vec<Vec<u64>>,
+}
+
+impl Dfs<'_> {
+    /// Depth at which subtrees are deferred to the parallel frontier.
+    const PARALLEL_DEPTH: usize = 2;
+
+    /// Precondition: `enc` holds the segments of the current prefix,
+    /// whose last context is `ctx`. `depth` counts context steps from
+    /// the initial context.
+    fn recurse(
+        &mut self,
+        enc: &mut Encoding<'_>,
+        ctx: u64,
+        depth: usize,
+    ) -> Result<(), CheckError> {
+        if self.schemas >= self.checker.config.max_schemas {
+            self.capped = true;
+            return Ok(());
+        }
+        // Feasibility pruning: if the base constraints of the prefix are
+        // unsatisfiable, so is every extension.
+        match enc.check() {
+            SatResult::Unsat => return Ok(()),
+            SatResult::Sat(_) => {}
+            SatResult::Unknown(reason) => {
+                // Cannot prune, cannot trust: record and keep exploring
+                // extensions conservatively.
+                self.unknown.get_or_insert(reason.to_string());
+            }
+        }
+        self.schemas += 1;
+        self.total_segments += enc.num_segments();
+
+        // Query check on this prefix: the prefix is the whole run, so
+        // the final context is authoritative for the tail.
+        enc.push_query();
+        enc.assert_tail_exact();
+        self.plan.assert_query(enc, self.info);
+        let result = enc.check();
+        enc.pop_query();
+        match result {
+            SatResult::Sat(model) => {
+                let run = enc.extract(&model);
+                self.violation = Some(Counterexample::replay(self.ta, &run)?);
+                return Ok(());
+            }
+            SatResult::Unsat => {}
+            SatResult::Unknown(reason) => {
+                self.unknown.get_or_insert(reason.to_string());
+            }
+        }
+
+        // Extensions: non-empty subsets of the remaining guards, closed
+        // under implication, statically unlockable after `ctx`.
+        let remaining = self.full & !ctx;
+        if remaining == 0 {
+            return Ok(());
+        }
+        let mut sub = remaining;
+        loop {
+            let next = ctx | sub;
+            if self.info.can_unlock_set(sub, ctx) && self.info.is_closed(next) {
+                if depth.saturating_add(1) == Self::PARALLEL_DEPTH {
+                    // Defer to the worker pool; feasibility of the
+                    // extension is re-checked by the worker.
+                    let mut prefix = enc.context_prefix();
+                    prefix.push(next);
+                    self.frontier.push(prefix);
+                } else {
+                    enc.push_segments(SegmentKind::Fixed(next), self.copies);
+                    self.recurse(enc, next, depth.saturating_add(1))?;
+                    enc.pop_segments();
+                    if self.violation.is_some() || self.capped {
+                        return Ok(());
+                    }
+                }
+            }
+            sub = (sub - 1) & remaining;
+            if sub == 0 {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The violation constraints shared by both strategies.
+struct QueryPlan {
+    globally_empty: Vec<LocationId>,
+    initially: Prop,
+    /// Unstable witnesses: must be asserted at *some* boundary, and each
+    /// needs a dedicated segment split.
+    witnesses: Vec<Prop>,
+    /// Stable witnesses: once true they stay true, so asserting them at
+    /// the final boundary is equivalent to `somewhere` — far cheaper (no
+    /// boundary disjunction, no extra segment copies).
+    stable_witnesses: Vec<Prop>,
+    tail: Option<Prop>,
+}
+
+impl QueryPlan {
+    fn new(ta: &ThresholdAutomaton, query: &Query, justice: &Justice) -> QueryPlan {
+        match query {
+            Query::Safety {
+                globally_empty,
+                initially,
+                witnesses,
+            } => {
+                let (stable, unstable): (Vec<Prop>, Vec<Prop>) = witnesses
+                    .iter()
+                    .cloned()
+                    .partition(|w| stability::is_stable(ta, w));
+                QueryPlan {
+                    globally_empty: globally_empty.clone(),
+                    initially: initially.clone(),
+                    witnesses: unstable,
+                    stable_witnesses: stable,
+                    tail: None,
+                }
+            }
+            Query::Liveness {
+                globally_empty,
+                initially,
+                tail,
+            } => QueryPlan {
+                globally_empty: globally_empty.clone(),
+                initially: initially.clone(),
+                witnesses: Vec::new(),
+                stable_witnesses: Vec::new(),
+                tail: Some(Prop::and([tail.clone(), justice.as_prop()])),
+            },
+        }
+    }
+
+    /// Asserts the witness/tail constraints (used by the monolithic
+    /// strategy and, per prefix, by the DFS).
+    ///
+    /// Propositions evaluated at the final boundary are first partially
+    /// evaluated against the final context (sound because
+    /// [`Encoding::assert_tail_exact`] pins the truth of every
+    /// vocabulary guard at the tail): this collapses the justice
+    /// conjunction's `¬cond ∨ empty` disjunctions into linear
+    /// constraints, avoiding exponential case splitting.
+    fn assert_query(&self, enc: &mut Encoding<'_>, info: &GuardInfo) {
+        for w in &self.witnesses {
+            enc.assert_prop_somewhere(w);
+        }
+        let final_ctx = enc.final_context();
+        let resolve = move |g: &holistic_ta::AtomicGuard| -> Option<bool> {
+            let ctx = final_ctx?;
+            let gi = info.index_of(g)?;
+            Some(ctx & (1 << gi) != 0)
+        };
+        let last = enc.num_boundaries() - 1;
+        for w in &self.stable_witnesses {
+            let w = w.resolve_guards(&resolve);
+            enc.assert_prop_at(&w, last);
+        }
+        if let Some(tail) = &self.tail {
+            let tail = tail.resolve_guards(&resolve);
+            enc.assert_prop_at(&tail, last);
+        }
+    }
+}

@@ -1,0 +1,659 @@
+//! Per-schema SMT encoding, built incrementally.
+//!
+//! A *schema* is a sequence of segments. Within a segment the set of
+//! usable rules is fixed, every usable rule fires an *accelerated*,
+//! non-negative number of times (its **factor**), and rules are grouped
+//! in a topological order of the location DAG. The encoding is exact
+//! for the increment-only DAG class:
+//!
+//! * within a fixed context all enabled firings commute, so any segment
+//!   of a real run can be reordered into the grouped topological form;
+//! * token feasibility of the grouped form is captured by prefix-sum
+//!   **availability** constraints (source counter just before a rule's
+//!   block must cover its factor);
+//! * shared variables and location counters at each segment boundary are
+//!   linear expressions in the factors and initial counters, so guard
+//!   unlocking and property evaluation are linear constraints.
+//!
+//! The encoding grows and shrinks **incrementally**
+//! ([`push_segments`](Encoding::push_segments) /
+//! [`pop_segments`](Encoding::pop_segments)): the schedule DFS of the
+//! checker extends a feasible prefix one context at a time and prunes
+//! entire subtrees when the prefix is already infeasible — the pruning
+//! that keeps the schema count near the handful the paper reports,
+//! instead of the factorial lattice size.
+//!
+//! Two segment flavours share the machinery: [`SegmentKind::Fixed`]
+//! carries an explicit context bitmask (the enumerative strategy), and
+//! [`SegmentKind::Free`] leaves the context symbolic, gating each rule
+//! by a conditional `factor = 0 ∨ guard holds at segment start`
+//! disjunction (the monolithic strategy).
+
+use std::collections::HashMap;
+
+use holistic_lia::{Constraint, Formula, LinExpr, Model, SatResult, Solver, SolverConfig, Var};
+use holistic_ltl::{Prop, StateAtom};
+use holistic_ta::{AtomicGuard, LocationId, RuleId, ThresholdAutomaton, VarId};
+
+use crate::guards::{param_expr_to_lin, resilience_constraint, GuardInfo};
+
+/// How a segment's context is handled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SegmentKind {
+    /// The context (bitmask of unlocked guards) is fixed by enumeration.
+    Fixed(u64),
+    /// The context is symbolic; rules carry conditional guard
+    /// constraints.
+    Free,
+}
+
+/// An incrementally growable SMT encoding of a schema prefix plus query
+/// constraints.
+pub struct Encoding<'a> {
+    ta: &'a ThresholdAutomaton,
+    info: &'a GuardInfo,
+    solver: Solver,
+    params: Vec<Var>,
+    /// Initial counter expression per location (a variable for initial
+    /// locations, the constant 0 otherwise).
+    init: Vec<LinExpr>,
+    /// Per segment: `(rule, factor var)` in topological firing order.
+    factors: Vec<Vec<(RuleId, Var)>>,
+    segments: Vec<SegmentKind>,
+    /// Segment counts of each push, for popping.
+    push_sizes: Vec<usize>,
+    topo: Vec<RuleId>,
+    banned: Vec<bool>,
+}
+
+impl<'a> Encoding<'a> {
+    /// Builds the base encoding (no segments yet): parameters and
+    /// resilience, and the initial distribution over initial locations.
+    ///
+    /// `globally_empty` locations are forced empty for the entire run:
+    /// their initial counters are zero and every rule entering or
+    /// leaving them is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the automaton is not a DAG (callers check this first).
+    pub fn new(
+        ta: &'a ThresholdAutomaton,
+        info: &'a GuardInfo,
+        globally_empty: &[LocationId],
+        solver_config: SolverConfig,
+    ) -> Encoding<'a> {
+        let mut solver = Solver::with_config(solver_config);
+        let params: Vec<Var> = ta
+            .params
+            .iter()
+            .map(|p| solver.new_nonneg_var(p.clone()))
+            .collect();
+        for c in &ta.resilience {
+            solver.assert_constraint(resilience_constraint(c, &params));
+        }
+
+        let mut banned = vec![false; ta.locations.len()];
+        for l in globally_empty {
+            banned[l.0] = true;
+        }
+
+        let mut init = Vec::with_capacity(ta.locations.len());
+        let mut sum = LinExpr::zero();
+        for (i, loc) in ta.locations.iter().enumerate() {
+            if loc.initial && !banned[i] {
+                let v = solver.new_nonneg_var(format!("k0_{}", loc.name));
+                init.push(LinExpr::var(v));
+                sum += LinExpr::var(v);
+            } else {
+                init.push(LinExpr::zero());
+            }
+        }
+        solver.assert_constraint(Constraint::eq(
+            sum,
+            param_expr_to_lin(&ta.size_expr, &params),
+        ));
+
+        let topo = ta
+            .topological_rules()
+            .expect("checker requires a DAG automaton");
+
+        Encoding {
+            ta,
+            info,
+            solver,
+            params,
+            init,
+            factors: Vec::new(),
+            segments: Vec::new(),
+            push_sizes: Vec::new(),
+            topo,
+            banned,
+        }
+    }
+
+    /// Convenience: builds the base encoding and pushes all `segments`
+    /// at once.
+    pub fn with_segments(
+        ta: &'a ThresholdAutomaton,
+        info: &'a GuardInfo,
+        segments: &[SegmentKind],
+        globally_empty: &[LocationId],
+        solver_config: SolverConfig,
+    ) -> Encoding<'a> {
+        let mut enc = Encoding::new(ta, info, globally_empty, solver_config);
+        for &s in segments {
+            enc.push_segments(s, 1);
+        }
+        enc
+    }
+
+    /// Appends `count` segments of the given kind, opening one solver
+    /// level (popped by [`pop_segments`](Encoding::pop_segments)).
+    ///
+    /// For a [`SegmentKind::Fixed`] context, the guards that are newly
+    /// unlocked relative to the previous segment's context must hold at
+    /// the entry boundary; rules whose guards are not in the context get
+    /// no factors. For [`SegmentKind::Free`], every rule gets a factor
+    /// gated by a `factor = 0 ∨ guard@entry` disjunction.
+    pub fn push_segments(&mut self, kind: SegmentKind, count: usize) {
+        self.solver.push();
+        self.push_sizes.push(count);
+        for _ in 0..count {
+            self.push_one(kind);
+        }
+    }
+
+    fn push_one(&mut self, kind: SegmentKind) {
+        let si = self.segments.len();
+        let prev_ctx = self.segments.last().map(|s| match s {
+            SegmentKind::Fixed(c) => *c,
+            SegmentKind::Free => u64::MAX,
+        });
+
+        // Factor variables.
+        let mut seg_factors = Vec::new();
+        for &r in &self.topo.clone() {
+            let rule = &self.ta.rules[r.0];
+            if self.banned[rule.from.0] || self.banned[rule.to.0] {
+                continue;
+            }
+            if let SegmentKind::Fixed(ctx) = kind {
+                if self.info.rule_mask(rule) & !ctx != 0 {
+                    continue; // guard not unlocked in this context
+                }
+            }
+            let v = self.solver.new_nonneg_var(format!("x{}_{}", si, rule.name));
+            seg_factors.push((r, v));
+        }
+        self.factors.push(seg_factors);
+        self.segments.push(kind);
+
+        // Availability within the new segment.
+        let mut constraints = Vec::new();
+        {
+            let mut delta: HashMap<usize, LinExpr> = HashMap::new();
+            for &(r, x) in &self.factors[si] {
+                let rule = &self.ta.rules[r.0];
+                let mut avail = self.boundary_counter(si, rule.from);
+                if let Some(d) = delta.get(&rule.from.0) {
+                    avail += d.clone();
+                }
+                constraints.push(Constraint::ge(avail, LinExpr::var(x)));
+                *delta.entry(rule.from.0).or_default() -= LinExpr::var(x);
+                *delta.entry(rule.to.0).or_default() += LinExpr::var(x);
+            }
+        }
+        for c in constraints {
+            self.solver.assert_constraint(c);
+        }
+
+        // Guard constraints at the entry boundary `si`: newly unlocked
+        // guards hold there; locked guards are still false there (their
+        // threshold may only be crossed *during* this segment, which is
+        // exactly when the next context takes over). The locked-false
+        // constraints keep the context semantics exact, which both
+        // sharpens DFS pruning and lets the final context decide every
+        // vocabulary atom at the tail.
+        match kind {
+            SegmentKind::Fixed(ctx) => {
+                let newly = match prev_ctx {
+                    Some(p) if p != u64::MAX => ctx & !p,
+                    Some(_) => 0, // after a Free segment nothing is "new"
+                    None => ctx,
+                };
+                let mut formulas = Vec::new();
+                for (gi, g) in self.info.guards.iter().enumerate() {
+                    if newly & (1 << gi) != 0 {
+                        formulas.push(Formula::atom(self.guard_at(g, si)));
+                    } else if ctx & (1 << gi) == 0 {
+                        formulas.push(Formula::not(Formula::atom(self.guard_at(g, si))));
+                    }
+                }
+                for f in formulas {
+                    self.solver.assert(f);
+                }
+            }
+            SegmentKind::Free => {
+                let mut formulas = Vec::new();
+                for &(r, x) in &self.factors[si] {
+                    let rule = &self.ta.rules[r.0];
+                    if rule.guard.is_true() {
+                        continue;
+                    }
+                    let holds = Formula::and(
+                        rule.guard
+                            .atoms()
+                            .iter()
+                            .map(|g| Formula::atom(self.guard_at(g, si))),
+                    );
+                    formulas.push(Formula::or([
+                        Formula::atom(Constraint::le(LinExpr::var(x), LinExpr::constant(0))),
+                        holds,
+                    ]));
+                }
+                for f in formulas {
+                    self.solver.assert(f);
+                }
+            }
+        }
+    }
+
+    /// Removes the segments added by the matching
+    /// [`push_segments`](Encoding::push_segments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is nothing to pop.
+    pub fn pop_segments(&mut self) {
+        let count = self.push_sizes.pop().expect("pop without push");
+        self.solver.pop();
+        for _ in 0..count {
+            self.factors.pop();
+            self.segments.pop();
+        }
+    }
+
+    /// The distinct fixed contexts of the pushed segments, in order
+    /// (one entry per push group; segment copies within a group share a
+    /// context).
+    pub fn context_prefix(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        for s in &self.segments {
+            if let SegmentKind::Fixed(c) = s {
+                if out.last() != Some(c) {
+                    out.push(*c);
+                }
+            }
+        }
+        out
+    }
+
+    /// The context of the last segment, if it is a fixed one.
+    pub fn final_context(&self) -> Option<u64> {
+        match self.segments.last() {
+            Some(SegmentKind::Fixed(ctx)) => Some(*ctx),
+            _ => None,
+        }
+    }
+
+    /// Asserts that the run *ends* in its final context: every
+    /// vocabulary guard outside the last segment's context is still
+    /// false at the final boundary. (In a natural schema, a guard that
+    /// flips during the last segment would have created one more
+    /// boundary, so this is complete; it is what makes the final context
+    /// authoritative for tail evaluation.) Only meaningful under a query
+    /// level: an extension of the prefix may legitimately flip these
+    /// guards.
+    pub fn assert_tail_exact(&mut self) {
+        let Some(ctx) = self.final_context() else {
+            return;
+        };
+        let last = self.num_boundaries() - 1;
+        let mut formulas = Vec::new();
+        for (gi, g) in self.info.guards.iter().enumerate() {
+            if ctx & (1 << gi) == 0 {
+                formulas.push(Formula::not(Formula::atom(self.guard_at(g, last))));
+            }
+        }
+        for f in formulas {
+            self.solver.assert(f);
+        }
+    }
+
+    /// Opens a solver level for query constraints.
+    pub fn push_query(&mut self) {
+        self.solver.push();
+    }
+
+    /// Closes the query level.
+    pub fn pop_query(&mut self) {
+        self.solver.pop();
+    }
+
+    /// The number of boundaries (`segments + 1`); boundary `i` is the
+    /// configuration at the start of segment `i`, the last boundary the
+    /// final configuration.
+    pub fn num_boundaries(&self) -> usize {
+        self.segments.len() + 1
+    }
+
+    /// The number of segments currently pushed.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The counter of `loc` at boundary `b`, as a linear expression.
+    pub fn boundary_counter(&self, b: usize, loc: LocationId) -> LinExpr {
+        let mut e = self.init[loc.0].clone();
+        for si in 0..b.min(self.factors.len()) {
+            for &(r, x) in &self.factors[si] {
+                let rule = &self.ta.rules[r.0];
+                if rule.to == loc {
+                    e += LinExpr::var(x);
+                }
+                if rule.from == loc {
+                    e -= LinExpr::var(x);
+                }
+            }
+        }
+        e
+    }
+
+    /// The value of shared variable `v` at boundary `b`.
+    pub fn boundary_shared(&self, b: usize, v: VarId) -> LinExpr {
+        let mut e = LinExpr::zero();
+        for si in 0..b.min(self.factors.len()) {
+            for &(r, x) in &self.factors[si] {
+                for &(uv, amount) in &self.ta.rules[r.0].update {
+                    if uv == v {
+                        e += LinExpr::term(x, amount as i128);
+                    }
+                }
+            }
+        }
+        e
+    }
+
+    /// The constraint `guard holds at boundary b`.
+    fn guard_at(&self, g: &AtomicGuard, b: usize) -> Constraint {
+        let mut lhs = LinExpr::zero();
+        for (v, c) in g.lhs.iter() {
+            lhs += self.boundary_shared(b, v).scale(holistic_lia::Rat::from(c));
+        }
+        let rhs = param_expr_to_lin(&g.rhs, &self.params);
+        match g.cmp {
+            holistic_ta::GuardCmp::Ge => Constraint::ge(lhs, rhs),
+            holistic_ta::GuardCmp::Lt => Constraint::lt(lhs, rhs),
+        }
+    }
+
+    /// Translates a state proposition at boundary `b` into a solver
+    /// formula.
+    pub fn prop_at(&self, prop: &Prop, b: usize) -> Formula {
+        match prop {
+            Prop::True => Formula::True,
+            Prop::False => Formula::False,
+            Prop::Atom(StateAtom::LocEmpty(l)) => Formula::atom(Constraint::eq(
+                self.boundary_counter(b, *l),
+                LinExpr::constant(0),
+            )),
+            Prop::Atom(StateAtom::LocNonEmpty(l)) => Formula::atom(Constraint::ge(
+                self.boundary_counter(b, *l),
+                LinExpr::constant(1),
+            )),
+            Prop::Atom(StateAtom::Guard(g)) => Formula::atom(self.guard_at(g, b)),
+            Prop::Atom(StateAtom::NotGuard(g)) => {
+                Formula::not(Formula::atom(self.guard_at(g, b)))
+            }
+            Prop::And(ps) => Formula::and(ps.iter().map(|p| self.prop_at(p, b))),
+            Prop::Or(ps) => Formula::or(ps.iter().map(|p| self.prop_at(p, b))),
+        }
+    }
+
+    /// Asserts a proposition at a specific boundary.
+    pub fn assert_prop_at(&mut self, prop: &Prop, b: usize) {
+        let f = self.prop_at(prop, b);
+        self.solver.assert(f);
+    }
+
+    /// Asserts that a proposition holds at *some* boundary.
+    pub fn assert_prop_somewhere(&mut self, prop: &Prop) {
+        let f = Formula::or((0..self.num_boundaries()).map(|b| self.prop_at(prop, b)));
+        self.solver.assert(f);
+    }
+
+    /// Runs the solver.
+    pub fn check(&mut self) -> SatResult {
+        self.solver.check()
+    }
+
+    /// Solver statistics.
+    pub fn solver_stats(&self) -> holistic_lia::SolverStats {
+        self.solver.stats()
+    }
+
+    /// Extracts the witness run from a model.
+    pub fn extract(&self, model: &Model) -> SymbolicRun {
+        let params: Vec<i64> = self
+            .params
+            .iter()
+            .map(|&v| model.value(v) as i64)
+            .collect();
+        let init: Vec<i64> = self
+            .init
+            .iter()
+            .map(|e| {
+                model
+                    .eval(e)
+                    .to_integer()
+                    .expect("integral initial counters") as i64
+            })
+            .collect();
+        let steps: Vec<Vec<(RuleId, u64)>> = self
+            .factors
+            .iter()
+            .map(|seg| {
+                seg.iter()
+                    .filter_map(|&(r, x)| {
+                        let v = model.value(x);
+                        if v > 0 {
+                            Some((r, v as u64))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        SymbolicRun {
+            params,
+            init,
+            steps,
+        }
+    }
+
+    /// The number of factor variables (a size statistic).
+    pub fn num_factors(&self) -> usize {
+        self.factors.iter().map(Vec::len).sum()
+    }
+}
+
+/// A witness run extracted from a satisfying model: parameter values,
+/// initial distribution, and per-segment accelerated firings.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SymbolicRun {
+    /// Concrete parameter values.
+    pub params: Vec<i64>,
+    /// Initial counter per location.
+    pub init: Vec<i64>,
+    /// Per segment: `(rule, times)` in firing order.
+    pub steps: Vec<Vec<(RuleId, u64)>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_lia::SolverConfig;
+    use holistic_ta::{Guard, ParamExpr, TaBuilder, VarExpr};
+
+    /// V --r1/x++--> A --r2 (x ≥ n−f)--> D.
+    fn chain() -> ThresholdAutomaton {
+        let mut b = TaBuilder::new("chain");
+        let n = b.param("n");
+        let f = b.param("f");
+        b.resilience_gt(n, f, 1);
+        b.size_n_minus_f(n, f);
+        let x = b.shared("x");
+        let v = b.initial_location("V");
+        let a = b.location("A");
+        let d = b.final_location("D");
+        b.rule("r1", v, a, Guard::always()).inc(x, 1);
+        let mut thresh = ParamExpr::param(n);
+        thresh.add_term(f, -1);
+        b.rule(
+            "r2",
+            a,
+            d,
+            Guard::atom(AtomicGuard::ge(VarExpr::var(x), thresh)),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reachability_of_final_location() {
+        let ta = chain();
+        let info = GuardInfo::analyse(&ta).unwrap();
+        // Schedule: ∅ then {x >= n-f}.
+        let segments = [SegmentKind::Fixed(0), SegmentKind::Fixed(1)];
+        let mut enc =
+            Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
+        let d = ta.location_by_name("D").unwrap();
+        enc.assert_prop_at(&Prop::loc_nonempty(d), 2);
+        let r = enc.check();
+        let model = r.model().expect("D is reachable");
+        let run = enc.extract(model);
+        // Everyone must broadcast before anyone delivers.
+        let total_r1: u64 = run.steps[0]
+            .iter()
+            .chain(run.steps[1].iter())
+            .filter(|(r, _)| ta.rules[r.0].name == "r1")
+            .map(|&(_, k)| k)
+            .sum();
+        assert!(total_r1 as i64 >= run.params[0] - run.params[1]);
+    }
+
+    #[test]
+    fn unreachable_without_unlock() {
+        let ta = chain();
+        let info = GuardInfo::analyse(&ta).unwrap();
+        // Only the empty context: r2 never enabled.
+        let segments = [SegmentKind::Fixed(0)];
+        let mut enc =
+            Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
+        let d = ta.location_by_name("D").unwrap();
+        enc.assert_prop_at(&Prop::loc_nonempty(d), 1);
+        assert!(enc.check().is_unsat());
+    }
+
+    #[test]
+    fn push_pop_segments_restore_state() {
+        let ta = chain();
+        let info = GuardInfo::analyse(&ta).unwrap();
+        let mut enc = Encoding::new(&ta, &info, &[], SolverConfig::default());
+        enc.push_segments(SegmentKind::Fixed(0), 1);
+        assert_eq!(enc.num_segments(), 1);
+        // Query at the one-segment stage: D unreachable.
+        let d = ta.location_by_name("D").unwrap();
+        enc.push_query();
+        enc.assert_prop_at(&Prop::loc_nonempty(d), 1);
+        assert!(enc.check().is_unsat());
+        enc.pop_query();
+        // Extend: now reachable.
+        enc.push_segments(SegmentKind::Fixed(1), 1);
+        assert_eq!(enc.num_segments(), 2);
+        enc.push_query();
+        enc.assert_prop_at(&Prop::loc_nonempty(d), 2);
+        assert!(enc.check().is_sat());
+        enc.pop_query();
+        // Pop back: unreachable again.
+        enc.pop_segments();
+        assert_eq!(enc.num_segments(), 1);
+        enc.push_query();
+        enc.assert_prop_at(&Prop::loc_nonempty(d), 1);
+        assert!(enc.check().is_unsat());
+        enc.pop_query();
+    }
+
+    #[test]
+    fn free_segments_reach_final_location() {
+        let ta = chain();
+        let info = GuardInfo::analyse(&ta).unwrap();
+        let segments = [SegmentKind::Free, SegmentKind::Free];
+        let mut enc =
+            Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
+        let d = ta.location_by_name("D").unwrap();
+        enc.assert_prop_at(&Prop::loc_nonempty(d), 2);
+        assert!(enc.check().is_sat());
+    }
+
+    #[test]
+    fn free_segments_respect_guards() {
+        let ta = chain();
+        let info = GuardInfo::analyse(&ta).unwrap();
+        let segments = [SegmentKind::Free];
+        let mut enc =
+            Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
+        // A single segment cannot both raise x and use the raised value:
+        // the guard is evaluated at the segment start where x = 0 < n-f.
+        let d = ta.location_by_name("D").unwrap();
+        enc.assert_prop_at(&Prop::loc_nonempty(d), 1);
+        assert!(enc.check().is_unsat());
+    }
+
+    #[test]
+    fn globally_empty_blocks_routes() {
+        let ta = chain();
+        let info = GuardInfo::analyse(&ta).unwrap();
+        let a = ta.location_by_name("A").unwrap();
+        let d = ta.location_by_name("D").unwrap();
+        let segments = [SegmentKind::Fixed(0), SegmentKind::Fixed(1)];
+        let mut enc =
+            Encoding::with_segments(&ta, &info, &segments, &[a], SolverConfig::default());
+        enc.assert_prop_at(&Prop::loc_nonempty(d), 2);
+        assert!(enc.check().is_unsat(), "route through A is banned");
+    }
+
+    #[test]
+    fn availability_prevents_token_overdraft() {
+        let ta = chain();
+        let info = GuardInfo::analyse(&ta).unwrap();
+        let segments = [SegmentKind::Fixed(0), SegmentKind::Fixed(1)];
+        let mut enc =
+            Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
+        let a = ta.location_by_name("A").unwrap();
+        let d = ta.location_by_name("D").unwrap();
+        // More processes in A ∪ D than exist: impossible.
+        let total = enc.boundary_counter(2, a) + enc.boundary_counter(2, d);
+        let n_minus_f = {
+            let mut e = ParamExpr::param(holistic_ta::ParamId(0));
+            e.add_term(holistic_ta::ParamId(1), -1);
+            param_expr_to_lin(&e, &enc.params)
+        };
+        enc.solver
+            .assert_constraint(Constraint::gt(total, n_minus_f));
+        assert!(enc.check().is_unsat());
+    }
+
+    #[test]
+    fn prop_somewhere_finds_intermediate_state() {
+        let ta = chain();
+        let info = GuardInfo::analyse(&ta).unwrap();
+        let segments = [SegmentKind::Fixed(0), SegmentKind::Fixed(1)];
+        let mut enc =
+            Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
+        let a = ta.location_by_name("A").unwrap();
+        enc.assert_prop_somewhere(&Prop::loc_nonempty(a));
+        assert!(enc.check().is_sat());
+    }
+}

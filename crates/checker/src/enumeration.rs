@@ -1,0 +1,249 @@
+//! Enumeration of monotone context schedules.
+//!
+//! A *context* is the set of unlocked rise guards (a `u64` bitmask). In
+//! the increment-only class, contexts only grow along a run, so every
+//! run induces a strictly increasing *schedule* `ctx₀ ⊂ ctx₁ ⊂ … ⊂ ctxₘ`
+//! — the backbone of a schema (POPL'17). This module enumerates all
+//! schedules, pruned by:
+//!
+//! * **implication closure** — contexts must be closed under the guard
+//!   implication order of [`GuardInfo`](crate::GuardInfo);
+//! * **initial feasibility** — `ctx₀` may only contain guards that can
+//!   hold with all shared variables zero.
+//!
+//! Steps may unlock several guards at once (equal thresholds can be
+//! crossed by a single increment, e.g. `t+1−f` and `2t+1−f` coincide at
+//! `t = 0`), so schedules are chains in the closed-context lattice, not
+//! just single-event paths.
+//!
+//! Enumeration is capped: for the paper's naive consensus automaton the
+//! 14-guard lattice explodes combinatorially — reproducing the `>100 000
+//! schemas / timeout` row of Table 2 — and the cap turns that into a
+//! fast, explicit [`ScheduleEnumeration::capped`] signal.
+
+use crate::guards::GuardInfo;
+
+/// A strictly increasing sequence of implication-closed contexts,
+/// starting with the (possibly empty) initial context.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ContextSchedule {
+    /// The contexts, `ctx₀ ⊂ ctx₁ ⊂ …` (bitmasks over guard indices).
+    pub contexts: Vec<u64>,
+}
+
+impl ContextSchedule {
+    /// Number of segments a schema over this schedule has.
+    pub fn num_segments(&self) -> usize {
+        self.contexts.len()
+    }
+}
+
+/// The outcome of schedule enumeration.
+#[derive(Clone, Debug)]
+pub struct ScheduleEnumeration {
+    /// The schedules found (complete only if not capped).
+    pub schedules: Vec<ContextSchedule>,
+    /// Whether enumeration stopped at the cap.
+    capped: bool,
+    /// Total schedules *counted* (equals `schedules.len()` unless capped
+    /// and counting continued past the cap).
+    pub counted: usize,
+}
+
+impl ScheduleEnumeration {
+    /// Whether the cap was hit (schedules are incomplete).
+    pub fn capped(&self) -> bool {
+        self.capped
+    }
+}
+
+/// Enumerates every monotone schedule of closed contexts, up to `cap`.
+///
+/// When the cap is reached, enumeration stops early and
+/// [`capped`](ScheduleEnumeration::capped) is set; callers must not
+/// treat the result as exhaustive.
+pub fn enumerate_schedules(info: &GuardInfo, cap: usize) -> ScheduleEnumeration {
+    let full: u64 = if info.len() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << info.len()) - 1
+    };
+
+    // Initial contexts: closed subsets of the initially-possible guards.
+    let mut initial_contexts = Vec::new();
+    collect_closed_subsets(info, info.initially_possible, &mut initial_contexts);
+
+    let mut out = ScheduleEnumeration {
+        schedules: Vec::new(),
+        capped: false,
+        counted: 0,
+    };
+    for &start in &initial_contexts {
+        let mut prefix = vec![start];
+        dfs(info, full, &mut prefix, cap, &mut out);
+        if out.capped {
+            break;
+        }
+    }
+    out
+}
+
+/// Counts schedules without storing them (used for the explosion demo);
+/// stops at `cap`.
+pub fn count_schedules(info: &GuardInfo, cap: usize) -> (usize, bool) {
+    let e = enumerate_schedules(info, cap);
+    (e.counted, e.capped())
+}
+
+fn collect_closed_subsets(info: &GuardInfo, universe: u64, out: &mut Vec<u64>) {
+    // Iterate subsets of `universe` (which is small in practice: usually
+    // 0), keeping the closed ones.
+    let mut sub = universe;
+    loop {
+        if info.is_closed(sub) {
+            out.push(sub);
+        }
+        if sub == 0 {
+            break;
+        }
+        sub = (sub - 1) & universe;
+    }
+    out.sort_unstable();
+}
+
+fn dfs(
+    info: &GuardInfo,
+    full: u64,
+    prefix: &mut Vec<u64>,
+    cap: usize,
+    out: &mut ScheduleEnumeration,
+) {
+    if out.counted >= cap {
+        out.capped = true;
+        return;
+    }
+    out.counted += 1;
+    out.schedules.push(ContextSchedule {
+        contexts: prefix.clone(),
+    });
+
+    let current = *prefix.last().unwrap();
+    let remaining = full & !current;
+    if remaining == 0 {
+        return;
+    }
+    // Extend by every non-empty subset of the remaining guards that
+    // yields a closed context and whose members can actually unlock
+    // after a segment in the current context (static dependency filter).
+    let mut sub = remaining;
+    loop {
+        let next = current | sub;
+        if info.can_unlock_set(sub, current) && info.is_closed(next) {
+            prefix.push(next);
+            dfs(info, full, prefix, cap, out);
+            prefix.pop();
+            if out.capped {
+                return;
+            }
+        }
+        sub = (sub - 1) & remaining;
+        if sub == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fake GuardInfo with the given implications.
+    fn info(n: usize, implications: &[(usize, usize)], initially: u64) -> GuardInfo {
+        let mut implies = vec![0u64; n];
+        for &(g, h) in implications {
+            implies[g] |= 1 << h;
+        }
+        GuardInfo {
+            guards: Vec::new(), // not consulted by enumeration
+            implies,
+            initially_possible: initially,
+            // Any set unconditionally unlockable.
+            raisers: vec![(0, u64::MAX)],
+        }
+    }
+
+    #[test]
+    fn zero_guards_single_schedule() {
+        let e = enumerate_schedules(&info(0, &[], 0), 1000);
+        assert_eq!(e.schedules.len(), 1);
+        assert_eq!(e.schedules[0].contexts, vec![0]);
+        assert!(!e.capped());
+    }
+
+    #[test]
+    fn one_guard() {
+        let e = enumerate_schedules(&info(1, &[], 0), 1000);
+        // [∅] and [∅, {g}].
+        assert_eq!(e.schedules.len(), 2);
+    }
+
+    #[test]
+    fn two_independent_guards() {
+        let e = enumerate_schedules(&info(2, &[], 0), 1000);
+        // Chains in the 4-element boolean lattice starting at ∅:
+        // [∅], [∅,a], [∅,b], [∅,ab], [∅,a,ab], [∅,b,ab].
+        assert_eq!(e.schedules.len(), 6);
+    }
+
+    #[test]
+    fn implication_prunes() {
+        // g1 implies g0: context {g1} alone is not closed.
+        let e = enumerate_schedules(&info(2, &[(1, 0)], 0), 1000);
+        // [∅], [∅,{g0}], [∅,{g0},{g0,g1}], [∅,{g0,g1}].
+        assert_eq!(e.schedules.len(), 4);
+        for s in &e.schedules {
+            for &ctx in &s.contexts {
+                assert!(ctx != 0b10, "non-closed context enumerated");
+            }
+        }
+    }
+
+    #[test]
+    fn initial_context_possibilities() {
+        // Guard 0 can hold initially.
+        let e = enumerate_schedules(&info(2, &[], 0b01), 1000);
+        // Starts: ∅ and {g0}; from ∅: 6 as before; from {g0}:
+        // [{g0}], [{g0},{g0,g1}] -> 2 more.
+        assert_eq!(e.schedules.len(), 8);
+    }
+
+    #[test]
+    fn cap_stops_enumeration() {
+        let e = enumerate_schedules(&info(6, &[], 0), 50);
+        assert!(e.capped());
+        assert_eq!(e.counted, 50);
+    }
+
+    #[test]
+    fn schedules_are_strictly_increasing() {
+        let e = enumerate_schedules(&info(3, &[(2, 1), (1, 0)], 0), 10_000);
+        assert!(!e.capped());
+        for s in &e.schedules {
+            for w in s.contexts.windows(2) {
+                assert!(w[0] & !w[1] == 0 && w[0] != w[1], "not increasing: {s:?}");
+            }
+        }
+        // Fully ordered chain of 3: contexts ∅ ⊂ {0} ⊂ {0,1} ⊂ {0,1,2}:
+        // schedules = chains starting at ∅ in a 4-chain = 2^3 = 8.
+        assert_eq!(e.schedules.len(), 8);
+    }
+
+    #[test]
+    fn simultaneous_unlock_steps_are_included() {
+        let e = enumerate_schedules(&info(2, &[], 0), 1000);
+        assert!(e
+            .schedules
+            .iter()
+            .any(|s| s.contexts == vec![0b00, 0b11]), "missing the double unlock");
+    }
+}

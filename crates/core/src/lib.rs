@@ -1,0 +1,241 @@
+//! # holistic-core — the holistic verification pipeline
+//!
+//! The paper's primary contribution as an API: verify the DBFT / Red
+//! Belly Byzantine consensus **holistically** — for every `n` and every
+//! `f ≤ t < n/3` — by decomposition:
+//!
+//! 1. **Inner algorithm**: model-check the four properties of the binary
+//!    value broadcast (BV-Justification, BV-Obligation, BV-Uniformity,
+//!    BV-Termination) on the automaton of Fig. 2 (§3).
+//! 2. **Substitution**: replace the verified broadcast inside the
+//!    consensus automaton by a small gadget whose *justice* assumption
+//!    is exactly the proven broadcast properties (Fig. 4, Appendix F).
+//! 3. **Outer algorithm**: model-check safety (Inv1, Inv2 — which imply
+//!    Agreement and Validity) and liveness (SRoundTerm, Dec, Good —
+//!    which imply Termination under the fair bv-broadcast, Theorem 6)
+//!    on the simplified automaton (§5).
+//!
+//! [`HolisticVerification`] drives the three phases and
+//! [`HolisticReport::theorem6`] assembles the final argument.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use holistic_core::HolisticVerification;
+//!
+//! let pipeline = HolisticVerification::new();
+//! let report = pipeline.run()?;
+//! assert!(report.all_verified());
+//! println!("{}", report.theorem6());
+//! # Ok::<(), holistic_checker::CheckError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+use holistic_checker::{CheckError, Checker, CheckerConfig, Verdict};
+use holistic_models::{BvBroadcastModel, SimplifiedConsensusModel};
+
+/// The outcome for one named property.
+#[derive(Clone, Debug)]
+pub struct PropertyResult {
+    /// Property name as in the paper (e.g. `BV-Just0`, `Inv1_0`).
+    pub name: String,
+    /// Verdict (for all admissible parameters).
+    pub verdict: Verdict,
+    /// Number of schemas checked.
+    pub schemas: usize,
+    /// Average schema length (segments).
+    pub avg_segments: f64,
+    /// Wall-clock time.
+    pub duration: Duration,
+}
+
+/// The report of a full holistic run.
+#[derive(Clone, Debug)]
+pub struct HolisticReport {
+    /// Phase 1: the binary value broadcast properties (§3.2).
+    pub inner: Vec<PropertyResult>,
+    /// Phase 3: the simplified consensus properties (§5 / Appendix F).
+    pub outer: Vec<PropertyResult>,
+    /// Total wall-clock time.
+    pub duration: Duration,
+}
+
+impl HolisticReport {
+    /// Whether both phases produced results and every property verified.
+    pub fn all_verified(&self) -> bool {
+        !self.inner.is_empty()
+            && !self.outer.is_empty()
+            && self
+                .inner
+                .iter()
+                .chain(self.outer.iter())
+                .all(|r| r.verdict.is_verified())
+    }
+
+    /// Looks a property result up by name.
+    pub fn property(&self, name: &str) -> Option<&PropertyResult> {
+        self.inner
+            .iter()
+            .chain(self.outer.iter())
+            .find(|r| r.name == name)
+    }
+
+    /// The Theorem 6 argument, assembled from the verdicts: if
+    /// SRoundTerm, Dec and Good hold (plus Corollary 5, which follows
+    /// from the fairness assumption), every correct process decides.
+    ///
+    /// Returns a human-readable summary; inspect
+    /// [`all_verified`](HolisticReport::all_verified) for the boolean.
+    pub fn theorem6(&self) -> String {
+        let mut out = String::new();
+        let verified = |name: &str| {
+            self.property(name)
+                .map(|r| r.verdict.is_verified())
+                .unwrap_or(false)
+        };
+        let inner_ok = ["BV-Just0", "BV-Obl0", "BV-Unif0", "BV-Term"]
+            .iter()
+            .all(|p| verified(p));
+        out.push_str(&format!(
+            "[{}] inner bv-broadcast: BV-Justification, BV-Obligation, BV-Uniformity, \
+             BV-Termination\n",
+            if inner_ok { "verified" } else { "FAILED" }
+        ));
+        let safety_ok = verified("Inv1_0") && verified("Inv2_0");
+        out.push_str(&format!(
+            "[{}] safety: Inv1 & Inv2 => Agreement & Validity (§5.1)\n",
+            if safety_ok { "verified" } else { "FAILED" }
+        ));
+        let liveness_ok = verified("SRoundTerm") && verified("Dec_0") && verified("Good_0");
+        out.push_str(&format!(
+            "[{}] liveness: SRoundTerm & Dec & Good => Termination under fair \
+             bv-broadcast (Theorem 6)\n",
+            if liveness_ok { "verified" } else { "FAILED" }
+        ));
+        if inner_ok && safety_ok && liveness_ok {
+            out.push_str(
+                "Theorem 6: the DBFT binary consensus of the Red Belly Blockchain is safe \
+                 for all n > 3t >= 3f >= 0, and live under the fairness assumption.\n",
+            );
+        } else {
+            out.push_str("holistic verification INCOMPLETE: see failed properties above.\n");
+        }
+        out
+    }
+}
+
+/// The holistic verification pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct HolisticVerification {
+    checker: Checker,
+}
+
+impl HolisticVerification {
+    /// A pipeline with default checker configuration.
+    pub fn new() -> HolisticVerification {
+        HolisticVerification::default()
+    }
+
+    /// A pipeline with an explicit checker configuration.
+    pub fn with_config(config: CheckerConfig) -> HolisticVerification {
+        HolisticVerification {
+            checker: Checker::with_config(config),
+        }
+    }
+
+    /// Phase 1: verifies the four bv-broadcast properties (§3.2) on the
+    /// automaton of Fig. 2.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CheckError`] for malformed models (which would be a
+    /// bug in `holistic-models`) — budget exhaustion shows up as
+    /// [`Verdict::Unknown`] instead.
+    pub fn verify_inner(&self) -> Result<Vec<PropertyResult>, CheckError> {
+        let model = BvBroadcastModel::new();
+        let justice = model.justice();
+        let mut out = Vec::new();
+        for (name, spec) in model.table2_specs() {
+            let report = self.checker.check_ltl(&model.ta, &spec, &justice)?;
+            out.push(PropertyResult {
+                name: name.to_owned(),
+                verdict: report.verdict(),
+                schemas: report.total_schemas(),
+                avg_segments: report.avg_segments(),
+                duration: report.duration,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Phase 3: verifies the simplified consensus automaton (Fig. 4)
+    /// under the Appendix-F justice assumption — which is *justified* by
+    /// phase 1: each justice requirement corresponds to a verified
+    /// bv-broadcast property.
+    ///
+    /// # Errors
+    ///
+    /// See [`verify_inner`](HolisticVerification::verify_inner).
+    pub fn verify_outer(&self) -> Result<Vec<PropertyResult>, CheckError> {
+        let model = SimplifiedConsensusModel::new();
+        let justice = model.justice();
+        let mut out = Vec::new();
+        for (name, spec) in model.table2_specs() {
+            let report = self.checker.check_ltl(&model.ta, &spec, &justice)?;
+            out.push(PropertyResult {
+                name: name.to_owned(),
+                verdict: report.verdict(),
+                schemas: report.total_schemas(),
+                avg_segments: report.avg_segments(),
+                duration: report.duration,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Runs the full pipeline (phases 1–3).
+    ///
+    /// # Errors
+    ///
+    /// See [`verify_inner`](HolisticVerification::verify_inner).
+    pub fn run(&self) -> Result<HolisticReport, CheckError> {
+        let start = Instant::now();
+        let inner = self.verify_inner()?;
+        let outer = self.verify_outer()?;
+        Ok(HolisticReport {
+            inner,
+            outer,
+            duration: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_phase_verifies() {
+        let pipeline = HolisticVerification::new();
+        let inner = pipeline.verify_inner().unwrap();
+        assert_eq!(inner.len(), 4);
+        for r in &inner {
+            assert!(r.verdict.is_verified(), "{} failed", r.name);
+        }
+    }
+
+    #[test]
+    fn theorem6_reports_incomplete_without_results() {
+        let report = HolisticReport {
+            inner: Vec::new(),
+            outer: Vec::new(),
+            duration: Duration::ZERO,
+        };
+        assert!(!report.all_verified());
+        assert!(report.theorem6().contains("INCOMPLETE"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Linear constraints over integer variables.
+
+use std::fmt;
+
+use crate::linexpr::LinExpr;
+use crate::rat::Rat;
+
+/// The relation of a (normalised) linear constraint: `expr REL 0`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Rel {
+    /// `expr <= 0`
+    Le,
+    /// `expr >= 0`
+    Ge,
+    /// `expr == 0`
+    Eq,
+}
+
+impl Rel {
+    /// The relation obtained by negating a constraint with this relation
+    /// under **integer** semantics: `¬(e <= 0)` is `e >= 1`, i.e. `e - 1 >= 0`.
+    /// `Eq` has no single-relation negation and is handled at the formula
+    /// level.
+    pub(crate) fn negate_with_shift(self) -> Option<(Rel, i128)> {
+        match self {
+            Rel::Le => Some((Rel::Ge, -1)), // ¬(e<=0) ≡ e>=1 ≡ (e-1)>=0
+            Rel::Ge => Some((Rel::Le, 1)),  // ¬(e>=0) ≡ e<=-1 ≡ (e+1)<=0
+            Rel::Eq => None,
+        }
+    }
+}
+
+impl fmt::Display for Rel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rel::Le => write!(f, "<="),
+            Rel::Ge => write!(f, ">="),
+            Rel::Eq => write!(f, "=="),
+        }
+    }
+}
+
+/// A linear constraint `expr REL 0` over integer variables.
+///
+/// Constraints are normalised on construction: coefficients are scaled to
+/// integers and strict inequalities are tightened to non-strict ones
+/// (sound and complete because every variable is an integer).
+///
+/// # Examples
+///
+/// ```
+/// use holistic_lia::{Constraint, LinExpr, Solver};
+///
+/// let mut solver = Solver::new();
+/// let x = solver.new_var("x");
+/// // x > 3  is normalised to  x - 4 >= 0.
+/// let c = Constraint::gt(LinExpr::var(x), LinExpr::constant(3));
+/// assert_eq!(c.to_string(), "x0 - 4 >= 0");
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Constraint {
+    expr: LinExpr,
+    rel: Rel,
+}
+
+impl Constraint {
+    /// Normalises `expr + strict_shift REL 0`: scales coefficients to
+    /// integers, applies the strictness shift, then applies integer
+    /// (GCD) tightening: with `g = gcd` of the variable coefficients,
+    /// `Σaᵢxᵢ <= c` tightens to `Σ(aᵢ/g)xᵢ <= ⌊c/g⌋` (dually for `>=`),
+    /// and an equality whose constant is not divisible by `g` is
+    /// replaced by a trivially false constraint. The tightening both
+    /// strengthens the rational relaxation and lets branch-and-bound
+    /// decide otherwise-unbounded integer-infeasible systems.
+    fn normalised(mut expr: LinExpr, rel: Rel, strict_shift: i128) -> Constraint {
+        let lcm = expr.denominator_lcm();
+        if lcm != 1 {
+            expr = expr.scale(Rat::from(lcm));
+        }
+        expr.add_constant(Rat::from(strict_shift));
+        if expr.is_constant() {
+            return Constraint { expr, rel };
+        }
+        let mut g: i128 = 0;
+        for (_, c) in expr.iter() {
+            let mut a = c.to_integer().expect("scaled coefficient is integral").abs();
+            let mut b = g;
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            g = a;
+        }
+        if g <= 1 {
+            return Constraint { expr, rel };
+        }
+        let k = expr
+            .constant_term()
+            .to_integer()
+            .expect("scaled constant is integral");
+        // expr REL 0 is terms + k REL 0, i.e. terms REL' -k.
+        let terms = {
+            let mut t = expr.clone();
+            t.add_constant(Rat::from(-k));
+            t.scale(Rat::new(1, g))
+        };
+        let rhs = -k;
+        let (new_rhs, rel) = match rel {
+            // terms/g <= floor(rhs/g)
+            Rel::Le => (rhs.div_euclid(g), Rel::Le),
+            // terms/g >= ceil(rhs/g)
+            Rel::Ge => (-(-rhs).div_euclid(g), Rel::Ge),
+            Rel::Eq => {
+                if rhs % g != 0 {
+                    // No integer solution: g | lhs but g ∤ rhs.
+                    return Constraint {
+                        expr: LinExpr::constant(1),
+                        rel: Rel::Eq,
+                    };
+                }
+                (rhs / g, Rel::Eq)
+            }
+        };
+        let mut expr = terms;
+        expr.add_constant(Rat::from(-new_rhs));
+        Constraint { expr, rel }
+    }
+
+    /// `lhs <= rhs`
+    pub fn le(lhs: LinExpr, rhs: LinExpr) -> Constraint {
+        Constraint::normalised(lhs - rhs, Rel::Le, 0)
+    }
+
+    /// `lhs >= rhs`
+    pub fn ge(lhs: LinExpr, rhs: LinExpr) -> Constraint {
+        Constraint::normalised(lhs - rhs, Rel::Ge, 0)
+    }
+
+    /// `lhs == rhs`
+    pub fn eq(lhs: LinExpr, rhs: LinExpr) -> Constraint {
+        Constraint::normalised(lhs - rhs, Rel::Eq, 0)
+    }
+
+    /// `lhs < rhs` — tightened to `lhs <= rhs - 1` (integer semantics).
+    pub fn lt(lhs: LinExpr, rhs: LinExpr) -> Constraint {
+        Constraint::normalised(lhs - rhs, Rel::Le, 1) // e < 0 ≡ e + 1 <= 0 over ℤ
+    }
+
+    /// `lhs > rhs` — tightened to `lhs >= rhs + 1` (integer semantics).
+    pub fn gt(lhs: LinExpr, rhs: LinExpr) -> Constraint {
+        Constraint::normalised(lhs - rhs, Rel::Ge, -1) // e > 0 ≡ e - 1 >= 0 over ℤ
+    }
+
+    /// The left-hand expression of the normalised form `expr REL 0`.
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+
+    /// The relation of the normalised form.
+    pub fn rel(&self) -> Rel {
+        self.rel
+    }
+
+    /// Evaluates the constraint under an assignment.
+    pub fn eval(&self, assignment: impl Fn(crate::Var) -> Rat) -> bool {
+        let v = self.expr.eval(assignment);
+        match self.rel {
+            Rel::Le => v <= Rat::ZERO,
+            Rel::Ge => v >= Rat::ZERO,
+            Rel::Eq => v.is_zero(),
+        }
+    }
+
+    /// A constraint that is trivially true or false (constant expression),
+    /// if this constraint involves no variables.
+    pub fn constant_truth(&self) -> Option<bool> {
+        if self.expr.is_constant() {
+            Some(self.eval(|_| Rat::ZERO))
+        } else {
+            None
+        }
+    }
+
+    /// The negation of this constraint under integer semantics.
+    ///
+    /// `Eq` negates to a disjunction, hence returns two constraints of
+    /// which at least one must hold; inequalities negate to a single
+    /// constraint.
+    pub fn negate(&self) -> Vec<Constraint> {
+        match self.rel.negate_with_shift() {
+            Some((rel, shift)) => {
+                let mut expr = self.expr.clone();
+                expr.add_constant(Rat::from(shift));
+                vec![Constraint { expr, rel }]
+            }
+            None => {
+                // ¬(e == 0) ≡ e <= -1 ∨ e >= 1.
+                let mut lo = self.expr.clone();
+                lo.add_constant(Rat::ONE);
+                let mut hi = self.expr.clone();
+                hi.add_constant(Rat::from(-1));
+                vec![
+                    Constraint { expr: lo, rel: Rel::Le },
+                    Constraint { expr: hi, rel: Rel::Ge },
+                ]
+            }
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} 0", self.expr, self.rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::Var;
+
+    fn x() -> LinExpr {
+        LinExpr::var(Var(0))
+    }
+
+    #[test]
+    fn strict_inequalities_are_tightened() {
+        let c = Constraint::gt(x(), LinExpr::constant(3));
+        assert_eq!(c.rel(), Rel::Ge);
+        assert_eq!(c.expr().constant_term(), Rat::from(-4));
+
+        let c = Constraint::lt(x(), LinExpr::constant(3));
+        assert_eq!(c.rel(), Rel::Le);
+        assert_eq!(c.expr().constant_term(), Rat::from(-2));
+    }
+
+    #[test]
+    fn rational_coefficients_are_scaled_to_integers() {
+        let e = LinExpr::term(Var(0), Rat::new(1, 2));
+        let c = Constraint::ge(e, LinExpr::constant(1));
+        assert!(c.expr().iter().all(|(_, k)| k.is_integer()));
+        assert!(c.expr().constant_term().is_integer());
+    }
+
+    #[test]
+    fn negation_of_inequality() {
+        let c = Constraint::ge(x(), LinExpr::constant(5)); // x - 5 >= 0
+        let neg = c.negate();
+        assert_eq!(neg.len(), 1);
+        // ¬(x >= 5) ≡ x <= 4 ≡ x - 4 <= 0.
+        assert_eq!(neg[0].rel(), Rel::Le);
+        assert_eq!(neg[0].expr().constant_term(), Rat::from(-4));
+    }
+
+    #[test]
+    fn negation_of_equality_is_disjunction() {
+        let c = Constraint::eq(x(), LinExpr::constant(0));
+        let neg = c.negate();
+        assert_eq!(neg.len(), 2);
+    }
+
+    #[test]
+    fn evaluation() {
+        let c = Constraint::le(x(), LinExpr::constant(2));
+        assert!(c.eval(|_| Rat::from(2)));
+        assert!(!c.eval(|_| Rat::from(3)));
+    }
+
+    #[test]
+    fn constant_truth() {
+        let c = Constraint::le(LinExpr::constant(1), LinExpr::constant(2));
+        assert_eq!(c.constant_truth(), Some(true));
+        let c = Constraint::ge(LinExpr::constant(1), LinExpr::constant(2));
+        assert_eq!(c.constant_truth(), Some(false));
+        let c = Constraint::ge(x(), LinExpr::constant(2));
+        assert_eq!(c.constant_truth(), None);
+    }
+}

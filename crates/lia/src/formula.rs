@@ -1,0 +1,272 @@
+//! Boolean combinations of linear constraints.
+
+use std::fmt;
+
+use crate::constraint::Constraint;
+
+/// A quantifier-free formula over linear integer constraints.
+///
+/// The solver decides satisfiability of these by case-splitting on
+/// disjunctions (the formulas produced by the model checker are almost
+/// entirely conjunctive, with small disjunctions coming from negated
+/// properties).
+///
+/// # Examples
+///
+/// ```
+/// use holistic_lia::{Constraint, Formula, LinExpr, Solver};
+///
+/// let mut solver = Solver::new();
+/// let x = solver.new_nonneg_var("x");
+/// let f = Formula::or(vec![
+///     Formula::atom(Constraint::ge(LinExpr::var(x), LinExpr::constant(5))),
+///     Formula::atom(Constraint::eq(LinExpr::var(x), LinExpr::constant(1))),
+/// ]);
+/// solver.assert(f);
+/// assert!(solver.check().is_sat());
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub enum Formula {
+    /// Trivially true.
+    True,
+    /// Trivially false.
+    False,
+    /// A single linear constraint.
+    Atom(Constraint),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation. Eliminated by [`Formula::to_nnf`] before solving.
+    Not(Box<Formula>),
+}
+
+impl Formula {
+    /// Wraps a constraint, folding constant truth: a constraint whose
+    /// expression has no variables becomes [`Formula::True`] /
+    /// [`Formula::False`] immediately, which lets enclosing
+    /// conjunctions/disjunctions collapse before the solver ever sees
+    /// them.
+    pub fn atom(c: Constraint) -> Formula {
+        match c.constant_truth() {
+            Some(true) => Formula::True,
+            Some(false) => Formula::False,
+            None => Formula::Atom(c),
+        }
+    }
+
+    /// Conjunction; flattens nested conjunctions, simplifies trivial
+    /// operands and drops duplicates.
+    pub fn and(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out: Vec<Formula> = Vec::new();
+        for f in fs {
+            match f {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => {
+                    for g in inner {
+                        if !out.contains(&g) {
+                            out.push(g);
+                        }
+                    }
+                }
+                other => {
+                    if !out.contains(&other) {
+                        out.push(other);
+                    }
+                }
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().unwrap(),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction; flattens nested disjunctions, simplifies trivial
+    /// operands and drops duplicates.
+    pub fn or(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out: Vec<Formula> = Vec::new();
+        for f in fs {
+            match f {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => {
+                    for g in inner {
+                        if !out.contains(&g) {
+                            out.push(g);
+                        }
+                    }
+                }
+                other => {
+                    if !out.contains(&other) {
+                        out.push(other);
+                    }
+                }
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().unwrap(),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Negation.
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// `premise ⇒ conclusion`, i.e. `¬premise ∨ conclusion`.
+    pub fn implies(premise: Formula, conclusion: Formula) -> Formula {
+        Formula::or([Formula::not(premise), conclusion])
+    }
+
+    /// Converts to negation normal form, pushing `Not` down to the atoms
+    /// and eliminating it there using integer-exact constraint negation.
+    pub fn to_nnf(&self) -> Formula {
+        self.nnf(false)
+    }
+
+    fn nnf(&self, negated: bool) -> Formula {
+        match (self, negated) {
+            (Formula::True, false) | (Formula::False, true) => Formula::True,
+            (Formula::True, true) | (Formula::False, false) => Formula::False,
+            (Formula::Atom(c), false) => Formula::Atom(c.clone()),
+            (Formula::Atom(c), true) => {
+                Formula::or(c.negate().into_iter().map(Formula::Atom))
+            }
+            (Formula::And(fs), false) => Formula::and(fs.iter().map(|f| f.nnf(false))),
+            (Formula::And(fs), true) => Formula::or(fs.iter().map(|f| f.nnf(true))),
+            (Formula::Or(fs), false) => Formula::or(fs.iter().map(|f| f.nnf(false))),
+            (Formula::Or(fs), true) => Formula::and(fs.iter().map(|f| f.nnf(true))),
+            (Formula::Not(inner), n) => inner.nnf(!n),
+        }
+    }
+
+    /// Evaluates the formula under a concrete assignment.
+    pub fn eval(&self, assignment: &impl Fn(crate::Var) -> crate::Rat) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Atom(c) => c.eval(assignment),
+            Formula::And(fs) => fs.iter().all(|f| f.eval(assignment)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(assignment)),
+            Formula::Not(f) => !f.eval(assignment),
+        }
+    }
+}
+
+impl From<Constraint> for Formula {
+    fn from(c: Constraint) -> Formula {
+        Formula::Atom(c)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(c) => write!(f, "({c})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Not(g) => write!(f, "¬{g}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::{LinExpr, Var};
+
+    fn atom_ge(v: u32, c: i64) -> Formula {
+        Formula::atom(Constraint::ge(LinExpr::var(Var(v)), LinExpr::constant(c)))
+    }
+
+    #[test]
+    fn and_simplification() {
+        assert_eq!(Formula::and([]), Formula::True);
+        assert_eq!(Formula::and([Formula::True, Formula::True]), Formula::True);
+        assert_eq!(
+            Formula::and([Formula::False, atom_ge(0, 1)]),
+            Formula::False
+        );
+        // Flattening.
+        let f = Formula::and([Formula::and([atom_ge(0, 1), atom_ge(1, 1)]), atom_ge(2, 1)]);
+        match f {
+            Formula::And(fs) => assert_eq!(fs.len(), 3),
+            other => panic!("expected flattened And, got {other}"),
+        }
+    }
+
+    #[test]
+    fn or_simplification() {
+        assert_eq!(Formula::or([]), Formula::False);
+        assert_eq!(Formula::or([Formula::True, atom_ge(0, 1)]), Formula::True);
+    }
+
+    #[test]
+    fn double_negation() {
+        let f = atom_ge(0, 3);
+        assert_eq!(Formula::not(Formula::not(f.clone())), f);
+    }
+
+    #[test]
+    fn nnf_pushes_negation_to_atoms() {
+        let f = Formula::not(Formula::and([atom_ge(0, 1), atom_ge(1, 2)]));
+        let nnf = f.to_nnf();
+        // ¬(a ∧ b) = ¬a ∨ ¬b, with ¬(x ≥ c) as an atom.
+        match nnf {
+            Formula::Or(fs) => {
+                assert_eq!(fs.len(), 2);
+                assert!(fs.iter().all(|g| matches!(g, Formula::Atom(_))));
+            }
+            other => panic!("expected Or of atoms, got {other}"),
+        }
+    }
+
+    #[test]
+    fn nnf_of_negated_equality_is_disjunction() {
+        let eq = Formula::atom(Constraint::eq(LinExpr::var(Var(0)), LinExpr::constant(0)));
+        let nnf = Formula::not(eq).to_nnf();
+        assert!(matches!(nnf, Formula::Or(ref fs) if fs.len() == 2));
+    }
+
+    #[test]
+    fn eval() {
+        use crate::rat::Rat;
+        let f = Formula::implies(atom_ge(0, 5), atom_ge(1, 1));
+        // x0 = 6, x1 = 0: premise true, conclusion false.
+        let assignment = |v: Var| if v == Var(0) { Rat::from(6) } else { Rat::ZERO };
+        assert!(!f.eval(&assignment));
+        // x0 = 0: premise false.
+        let assignment = |_: Var| Rat::ZERO;
+        assert!(f.eval(&assignment));
+    }
+}

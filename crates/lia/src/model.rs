@@ -1,0 +1,131 @@
+//! Satisfying assignments.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::linexpr::{LinExpr, Var};
+use crate::rat::Rat;
+
+/// An integer assignment to the solver's user variables, produced by a
+/// successful [`Solver::check`](crate::Solver::check).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Model {
+    values: BTreeMap<Var, i128>,
+    names: BTreeMap<Var, String>,
+}
+
+impl Model {
+    pub(crate) fn new() -> Model {
+        Model::default()
+    }
+
+    pub(crate) fn insert(&mut self, v: Var, value: i128, name: String) {
+        self.values.insert(v, value);
+        self.names.insert(v, name);
+    }
+
+    /// The value of a variable, if the model assigns one.
+    pub fn get(&self, v: Var) -> Option<i128> {
+        self.values.get(&v).copied()
+    }
+
+    /// The value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is not assigned by this model.
+    pub fn value(&self, v: Var) -> i128 {
+        self.values[&v]
+    }
+
+    /// Evaluates a linear expression under this model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression mentions an unassigned variable.
+    pub fn eval(&self, expr: &LinExpr) -> Rat {
+        expr.eval(|v| Rat::from(self.value(v)))
+    }
+
+    /// Iterates over `(variable, value)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, i128)> + '_ {
+        self.values.iter().map(|(&v, &x)| (v, x))
+    }
+
+    /// The number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model assigns no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, x) in &self.values {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            match self.names.get(v) {
+                Some(name) if !name.is_empty() => write!(f, "{name} = {x}")?,
+                _ => write!(f, "{v} = {x}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The verdict of a satisfiability check.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SatResult {
+    /// Satisfiable, with a witness model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// The solver gave up (budget exhausted). Never treated as a verdict
+    /// by the model checker.
+    Unknown(UnknownReason),
+}
+
+impl SatResult {
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// Whether the result is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+
+    /// The model, if `Sat`.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Why a check returned [`SatResult::Unknown`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnknownReason {
+    /// The branch-and-bound node budget was exhausted.
+    BranchBudget,
+    /// The case-split budget was exhausted.
+    SplitBudget,
+}
+
+impl fmt::Display for UnknownReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnknownReason::BranchBudget => write!(f, "branch-and-bound node budget exhausted"),
+            UnknownReason::SplitBudget => write!(f, "case-split budget exhausted"),
+        }
+    }
+}

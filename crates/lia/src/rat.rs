@@ -1,0 +1,348 @@
+//! Exact rational arithmetic on `i128`.
+//!
+//! The solver never touches floating point: simplex pivots, bounds and
+//! models are all exact. Numerator/denominator are kept reduced with a
+//! positive denominator, so equality is structural. Arithmetic panics on
+//! `i128` overflow (checked operations), which for the constraint systems
+//! produced by the checker — small integer coefficients, short pivot
+//! chains — does not occur in practice; a panic is preferable to a wrong
+//! verdict.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(num, den) == 1`.
+///
+/// # Examples
+///
+/// ```
+/// use holistic_lia::Rat;
+///
+/// let a = Rat::new(1, 3);
+/// let b = Rat::new(1, 6);
+/// assert_eq!(a + b, Rat::new(1, 2));
+/// assert!(Rat::from(2) > a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+const fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    if a < 0 {
+        -a
+    } else {
+        a
+    }
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates a rational `num / den`, reduced to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num, den);
+        let (mut num, mut den) = (num / g, den / g);
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rat { num, den }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Whether this rational is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether this rational is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Whether this rational is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether this rational is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// The largest integer `k` with `k <= self`.
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// The smallest integer `k` with `k >= self`.
+    pub fn ceil(&self) -> i128 {
+        -(-self.num).div_euclid(self.den)
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn recip(&self) -> Rat {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Converts to `i128` if the value is an integer.
+    pub fn to_integer(&self) -> Option<i128> {
+        if self.den == 1 {
+            Some(self.num)
+        } else {
+            None
+        }
+    }
+
+    fn checked_add(self, rhs: Rat) -> Rat {
+        // a/b + c/d = (a*(l/b) + c*(l/d)) / l  with l = lcm(b, d).
+        let g = gcd(self.den, rhs.den);
+        let l = self
+            .den
+            .checked_mul(rhs.den / g)
+            .expect("rational overflow in add (lcm)");
+        let a = self
+            .num
+            .checked_mul(l / self.den)
+            .expect("rational overflow in add (lhs)");
+        let b = rhs
+            .num
+            .checked_mul(l / rhs.den)
+            .expect("rational overflow in add (rhs)");
+        Rat::new(a.checked_add(b).expect("rational overflow in add"), l)
+    }
+
+    fn checked_mul(self, rhs: Rat) -> Rat {
+        // Cross-reduce before multiplying to keep magnitudes small.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .expect("rational overflow in mul (num)");
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .expect("rational overflow in mul (den)");
+        Rat::new(num, den)
+    }
+}
+
+impl From<i128> for Rat {
+    fn from(v: i128) -> Rat {
+        Rat { num: v, den: 1 }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Rat {
+        Rat::from(v as i128)
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(v: i32) -> Rat {
+        Rat::from(v as i128)
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Rat {
+        Rat::ZERO
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        self.checked_add(rhs)
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self.checked_add(-rhs)
+    }
+}
+
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        self.checked_mul(rhs)
+    }
+}
+
+impl MulAssign for Rat {
+    fn mul_assign(&mut self, rhs: Rat) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        self.checked_mul(rhs.recip())
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0).
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational overflow in cmp");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational overflow in cmp");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, 4), Rat::new(1, -2));
+        assert_eq!(Rat::new(0, 5), Rat::ZERO);
+        assert_eq!(Rat::new(6, -3), Rat::from(-2));
+    }
+
+    #[test]
+    fn denominator_is_positive() {
+        assert!(Rat::new(1, -2).denom() > 0);
+        assert_eq!(Rat::new(1, -2).numer(), -1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 3);
+        let b = Rat::new(1, 6);
+        assert_eq!(a + b, Rat::new(1, 2));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 18));
+        assert_eq!(a / b, Rat::from(2));
+        assert_eq!(-a, Rat::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 3) > Rat::new(-1, 2));
+        assert!(Rat::from(0) < Rat::new(1, 1000));
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::from(5).floor(), 5);
+        assert_eq!(Rat::from(5).ceil(), 5);
+    }
+
+    #[test]
+    fn integer_detection() {
+        assert!(Rat::new(4, 2).is_integer());
+        assert!(!Rat::new(1, 2).is_integer());
+        assert_eq!(Rat::new(4, 2).to_integer(), Some(2));
+        assert_eq!(Rat::new(1, 2).to_integer(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(1, 2).to_string(), "1/2");
+        assert_eq!(Rat::from(-3).to_string(), "-3");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_of_zero_panics() {
+        let _ = Rat::ZERO.recip();
+    }
+}

@@ -1,0 +1,570 @@
+//! A general simplex for linear-arithmetic feasibility.
+//!
+//! This is the solver core in the style of Dutertre & de Moura ("A fast
+//! linear-arithmetic solver for DPLL(T)", CAV 2006): every constraint
+//! `Σ aᵢxᵢ ⋈ c` is turned into a *slack* variable `s = Σ aᵢxᵢ` plus a
+//! bound on `s`; feasibility is restored by pivoting with Bland's rule,
+//! which guarantees termination. All arithmetic is exact rational.
+//!
+//! The tableau only grows (slack rows are permanent); backtracking
+//! restores *bounds* from a trail, which keeps push/pop cheap — exactly
+//! the access pattern of branch-and-bound and of case splitting in the
+//! formula layer.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use crate::constraint::{Constraint, Rel};
+use crate::linexpr::{LinExpr, Var};
+use crate::rat::Rat;
+
+/// The outcome of a feasibility check over the rationals.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LpResult {
+    /// The asserted bounds are satisfiable over ℚ.
+    Feasible,
+    /// The asserted bounds are unsatisfiable over ℚ (hence also over ℤ).
+    Infeasible,
+}
+
+#[derive(Clone, Debug)]
+struct VarState {
+    lower: Option<Rat>,
+    upper: Option<Rat>,
+    value: Rat,
+    name: String,
+}
+
+#[derive(Clone, Debug)]
+struct Row {
+    basic: Var,
+    /// `basic = Σ coeffs[v]·v` over non-basic variables.
+    coeffs: BTreeMap<Var, Rat>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum TrailEntry {
+    Lower(Var, Option<Rat>),
+    Upper(Var, Option<Rat>),
+}
+
+/// The incremental simplex tableau.
+///
+/// This type is deliberately low-level; most users want
+/// [`Solver`](crate::Solver), which adds integer reasoning and boolean
+/// structure on top.
+#[derive(Clone, Debug, Default)]
+pub struct Simplex {
+    vars: Vec<VarState>,
+    rows: Vec<Row>,
+    /// Basic var -> row index.
+    row_of: HashMap<Var, usize>,
+    /// Reuse slack variables for syntactically equal linear forms.
+    slack_cache: HashMap<Vec<(Var, Rat)>, Var>,
+    trail: Vec<TrailEntry>,
+    levels: Vec<usize>,
+    /// Pivot counter (statistics).
+    pivots: u64,
+}
+
+impl Simplex {
+    /// Creates an empty tableau.
+    pub fn new() -> Simplex {
+        Simplex::default()
+    }
+
+    /// Allocates a fresh, unbounded variable.
+    pub fn new_var(&mut self, name: impl Into<String>) -> Var {
+        let v = Var(self.vars.len() as u32);
+        self.vars.push(VarState {
+            lower: None,
+            upper: None,
+            value: Rat::ZERO,
+            name: name.into(),
+        });
+        v
+    }
+
+    /// The number of variables (including slacks).
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The number of tableau rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total pivots performed so far (statistic).
+    pub fn pivot_count(&self) -> u64 {
+        self.pivots
+    }
+
+    /// The name a variable was created with.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// The current (rational) value of a variable. Only meaningful right
+    /// after a [`check`](Simplex::check) that returned
+    /// [`LpResult::Feasible`].
+    pub fn value(&self, v: Var) -> Rat {
+        self.vars[v.index()].value
+    }
+
+    /// Current lower bound of a variable.
+    pub fn lower(&self, v: Var) -> Option<Rat> {
+        self.vars[v.index()].lower
+    }
+
+    /// Current upper bound of a variable.
+    pub fn upper(&self, v: Var) -> Option<Rat> {
+        self.vars[v.index()].upper
+    }
+
+    /// Opens a backtracking level.
+    pub fn push(&mut self) {
+        self.levels.push(self.trail.len());
+    }
+
+    /// Restores the bounds recorded since the matching [`push`](Simplex::push).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no open level.
+    pub fn pop(&mut self) {
+        let mark = self.levels.pop().expect("pop without matching push");
+        while self.trail.len() > mark {
+            match self.trail.pop().unwrap() {
+                TrailEntry::Lower(v, old) => self.vars[v.index()].lower = old,
+                TrailEntry::Upper(v, old) => self.vars[v.index()].upper = old,
+            }
+        }
+    }
+
+    fn is_basic(&self, v: Var) -> bool {
+        self.row_of.contains_key(&v)
+    }
+
+    /// Asserts `v >= bound`, tightening only. Returns `Infeasible` if the
+    /// new bound contradicts the current upper bound.
+    pub fn assert_lower(&mut self, v: Var, bound: Rat) -> LpResult {
+        let st = &self.vars[v.index()];
+        if st.lower.is_some_and(|l| l >= bound) {
+            return LpResult::Feasible;
+        }
+        if st.upper.is_some_and(|u| u < bound) {
+            // Record the tightening anyway so that pop() restores it; the
+            // state is conflicting until then.
+            self.trail.push(TrailEntry::Lower(v, st.lower));
+            self.vars[v.index()].lower = Some(bound);
+            return LpResult::Infeasible;
+        }
+        self.trail.push(TrailEntry::Lower(v, st.lower));
+        self.vars[v.index()].lower = Some(bound);
+        if !self.is_basic(v) && self.vars[v.index()].value < bound {
+            self.update(v, bound);
+        }
+        LpResult::Feasible
+    }
+
+    /// Asserts `v <= bound`, tightening only. Returns `Infeasible` if the
+    /// new bound contradicts the current lower bound.
+    pub fn assert_upper(&mut self, v: Var, bound: Rat) -> LpResult {
+        let st = &self.vars[v.index()];
+        if st.upper.is_some_and(|u| u <= bound) {
+            return LpResult::Feasible;
+        }
+        if st.lower.is_some_and(|l| l > bound) {
+            self.trail.push(TrailEntry::Upper(v, st.upper));
+            self.vars[v.index()].upper = Some(bound);
+            return LpResult::Infeasible;
+        }
+        self.trail.push(TrailEntry::Upper(v, st.upper));
+        self.vars[v.index()].upper = Some(bound);
+        if !self.is_basic(v) && self.vars[v.index()].value > bound {
+            self.update(v, bound);
+        }
+        LpResult::Feasible
+    }
+
+    /// Asserts a normalised [`Constraint`]. Single-variable constraints
+    /// become direct bounds; general linear forms get a (cached) slack
+    /// variable.
+    pub fn assert_constraint(&mut self, c: &Constraint) -> LpResult {
+        if let Some(truth) = c.constant_truth() {
+            return if truth {
+                LpResult::Feasible
+            } else {
+                // Encode falsity as an impossible pair of bounds on a
+                // throwaway variable, so that the conflict persists until
+                // the enclosing level is popped.
+                let f = self.new_var("false");
+                let _ = self.assert_lower(f, Rat::ONE);
+                let _ = self.assert_upper(f, Rat::ZERO);
+                LpResult::Infeasible
+            };
+        }
+        let expr = c.expr();
+        let constant = expr.constant_term();
+        // expr REL 0  ⇔  (expr - constant) REL -constant.
+        if expr.num_terms() == 1 {
+            let (v, k) = expr.iter().next().unwrap();
+            // k·v REL -constant  ⇒  v REL' -constant/k (flip if k < 0).
+            let bound = -constant / k;
+            return match (c.rel(), k.is_positive()) {
+                (Rel::Le, true) | (Rel::Ge, false) => self.assert_upper(v, bound),
+                (Rel::Ge, true) | (Rel::Le, false) => self.assert_lower(v, bound),
+                (Rel::Eq, _) => match self.assert_lower(v, bound) {
+                    LpResult::Infeasible => LpResult::Infeasible,
+                    LpResult::Feasible => self.assert_upper(v, bound),
+                },
+            };
+        }
+        let slack = self.slack_for(expr);
+        let bound = -constant;
+        match c.rel() {
+            Rel::Le => self.assert_upper(slack, bound),
+            Rel::Ge => self.assert_lower(slack, bound),
+            Rel::Eq => match self.assert_lower(slack, bound) {
+                LpResult::Infeasible => LpResult::Infeasible,
+                LpResult::Feasible => self.assert_upper(slack, bound),
+            },
+        }
+    }
+
+    /// Returns the slack variable representing the variable part of `expr`
+    /// (ignoring its constant term), creating a tableau row if needed.
+    fn slack_for(&mut self, expr: &LinExpr) -> Var {
+        let key: Vec<(Var, Rat)> = expr.iter().collect();
+        if let Some(&s) = self.slack_cache.get(&key) {
+            return s;
+        }
+        let s = self.new_var(format!("s{}", self.rows.len()));
+        // Rewrite the defining equation over the current non-basic vars.
+        let mut coeffs: BTreeMap<Var, Rat> = BTreeMap::new();
+        let mut value = Rat::ZERO;
+        for (v, k) in expr.iter() {
+            if let Some(&r) = self.row_of.get(&v) {
+                let row_coeffs = self.rows[r].coeffs.clone();
+                for (w, kw) in row_coeffs {
+                    let e = coeffs.entry(w).or_default();
+                    *e += k * kw;
+                    if e.is_zero() {
+                        coeffs.remove(&w);
+                    }
+                }
+            } else {
+                let e = coeffs.entry(v).or_default();
+                *e += k;
+                if e.is_zero() {
+                    coeffs.remove(&v);
+                }
+            }
+        }
+        for (&w, &kw) in &coeffs {
+            value += kw * self.vars[w.index()].value;
+        }
+        self.vars[s.index()].value = value;
+        self.row_of.insert(s, self.rows.len());
+        self.rows.push(Row { basic: s, coeffs });
+        self.slack_cache.insert(key, s);
+        s
+    }
+
+    /// Sets the value of a non-basic variable, propagating through the
+    /// tableau.
+    fn update(&mut self, v: Var, value: Rat) {
+        let delta = value - self.vars[v.index()].value;
+        if delta.is_zero() {
+            return;
+        }
+        for row in &self.rows {
+            if let Some(&k) = row.coeffs.get(&v) {
+                self.vars[row.basic.index()].value += k * delta;
+            }
+        }
+        self.vars[v.index()].value = value;
+    }
+
+    /// Pivots basic `xi` (row `r`) with non-basic `xj`, then sets
+    /// `xi := target` and adjusts `xj` accordingly.
+    fn pivot_and_update(&mut self, r: usize, xj: Var, target: Rat) {
+        self.pivots += 1;
+        let xi = self.rows[r].basic;
+        let a_ij = self.rows[r].coeffs[&xj];
+        let theta = (target - self.vars[xi.index()].value) / a_ij;
+
+        // Value updates.
+        self.vars[xi.index()].value = target;
+        self.vars[xj.index()].value += theta;
+        for (idx, row) in self.rows.iter().enumerate() {
+            if idx == r {
+                continue;
+            }
+            if let Some(&k) = row.coeffs.get(&xj) {
+                self.vars[row.basic.index()].value += k * theta;
+            }
+        }
+
+        // Tableau pivot: solve row r for xj.
+        //   xi = a_ij·xj + Σ_k a_ik·xk
+        //   xj = (1/a_ij)·xi − Σ_k (a_ik/a_ij)·xk
+        let old_coeffs = std::mem::take(&mut self.rows[r].coeffs);
+        let inv = a_ij.recip();
+        let mut new_coeffs: BTreeMap<Var, Rat> = BTreeMap::new();
+        new_coeffs.insert(xi, inv);
+        for (v, k) in old_coeffs {
+            if v != xj {
+                let c = -(k * inv);
+                if !c.is_zero() {
+                    new_coeffs.insert(v, c);
+                }
+            }
+        }
+        // Substitute xj's new definition into every other row.
+        for (idx, row) in self.rows.iter_mut().enumerate() {
+            if idx == r {
+                continue;
+            }
+            if let Some(k) = row.coeffs.remove(&xj) {
+                for (&w, &kw) in &new_coeffs {
+                    let e = row.coeffs.entry(w).or_default();
+                    *e += k * kw;
+                    if e.is_zero() {
+                        row.coeffs.remove(&w);
+                    }
+                }
+            }
+        }
+        self.rows[r].basic = xj;
+        self.rows[r].coeffs = new_coeffs;
+        self.row_of.remove(&xi);
+        self.row_of.insert(xj, r);
+    }
+
+    /// Restores feasibility of basic variables by pivoting (Bland's rule:
+    /// always the smallest-index violated basic variable and the
+    /// smallest-index eligible non-basic variable, which precludes
+    /// cycling).
+    pub fn check(&mut self) -> LpResult {
+        // Bounds asserted while conflicting (assert_* returned Infeasible)
+        // leave lower > upper somewhere; detect that first.
+        for st in &self.vars {
+            if let (Some(l), Some(u)) = (st.lower, st.upper) {
+                if l > u {
+                    return LpResult::Infeasible;
+                }
+            }
+        }
+        loop {
+            // Smallest violated basic variable.
+            let mut violated: Option<(usize, Var, Rat, bool)> = None;
+            for (idx, row) in self.rows.iter().enumerate() {
+                let b = row.basic;
+                let st = &self.vars[b.index()];
+                if let Some(l) = st.lower {
+                    if st.value < l {
+                        if violated.map_or(true, |(_, v, _, _)| b < v) {
+                            violated = Some((idx, b, l, true));
+                        }
+                        continue;
+                    }
+                }
+                if let Some(u) = st.upper {
+                    if st.value > u {
+                        if violated.map_or(true, |(_, v, _, _)| b < v) {
+                            violated = Some((idx, b, u, false));
+                        }
+                    }
+                }
+            }
+            let Some((r, _, target, need_increase)) = violated else {
+                return LpResult::Feasible;
+            };
+            // Smallest eligible non-basic variable in row r.
+            let mut entering: Option<Var> = None;
+            for (&xj, &a) in &self.rows[r].coeffs {
+                let st = &self.vars[xj.index()];
+                let eligible = if need_increase {
+                    // xi must increase: xj can move in the direction that
+                    // increases xi.
+                    (a.is_positive() && st.upper.map_or(true, |u| st.value < u))
+                        || (a.is_negative() && st.lower.map_or(true, |l| st.value > l))
+                } else {
+                    (a.is_positive() && st.lower.map_or(true, |l| st.value > l))
+                        || (a.is_negative() && st.upper.map_or(true, |u| st.value < u))
+                };
+                if eligible {
+                    entering = Some(xj);
+                    break; // BTreeMap iterates in ascending Var order.
+                }
+            }
+            match entering {
+                Some(xj) => self.pivot_and_update(r, xj, target),
+                None => return LpResult::Infeasible,
+            }
+        }
+    }
+
+    /// Verifies the internal invariant that every basic variable's value
+    /// equals its row evaluated at the non-basic values. Used by tests.
+    #[doc(hidden)]
+    pub fn debug_check_invariants(&self) -> bool {
+        for row in &self.rows {
+            let mut acc = Rat::ZERO;
+            for (&v, &k) in &row.coeffs {
+                if self.is_basic(v) {
+                    return false; // rows must mention only non-basic vars
+                }
+                acc += k * self.vars[v.index()].value;
+            }
+            if acc != self.vars[row.basic.index()].value {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(terms: &[(Var, i64)], c: i64) -> LinExpr {
+        let mut e = LinExpr::constant(c);
+        for &(v, k) in terms {
+            e.add_term(v, Rat::from(k));
+        }
+        e
+    }
+
+    #[test]
+    fn trivially_feasible() {
+        let mut s = Simplex::new();
+        let x = s.new_var("x");
+        assert_eq!(s.assert_lower(x, Rat::ZERO), LpResult::Feasible);
+        assert_eq!(s.check(), LpResult::Feasible);
+        assert!(s.value(x) >= Rat::ZERO);
+    }
+
+    #[test]
+    fn conflicting_bounds() {
+        let mut s = Simplex::new();
+        let x = s.new_var("x");
+        assert_eq!(s.assert_lower(x, Rat::from(5)), LpResult::Feasible);
+        assert_eq!(s.assert_upper(x, Rat::from(3)), LpResult::Infeasible);
+        assert_eq!(s.check(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn two_variable_system() {
+        // x + y >= 10, x <= 3, y <= 4  is infeasible.
+        let mut s = Simplex::new();
+        let x = s.new_var("x");
+        let y = s.new_var("y");
+        let c = Constraint::ge(expr(&[(x, 1), (y, 1)], 0), LinExpr::constant(10));
+        s.assert_constraint(&c);
+        s.assert_upper(x, Rat::from(3));
+        s.assert_upper(y, Rat::from(4));
+        assert_eq!(s.check(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn feasible_system_produces_model() {
+        // x + y >= 10, x <= 7, y <= 6.
+        let mut s = Simplex::new();
+        let x = s.new_var("x");
+        let y = s.new_var("y");
+        s.assert_constraint(&Constraint::ge(
+            expr(&[(x, 1), (y, 1)], 0),
+            LinExpr::constant(10),
+        ));
+        s.assert_upper(x, Rat::from(7));
+        s.assert_upper(y, Rat::from(6));
+        assert_eq!(s.check(), LpResult::Feasible);
+        assert!(s.value(x) + s.value(y) >= Rat::from(10));
+        assert!(s.value(x) <= Rat::from(7));
+        assert!(s.value(y) <= Rat::from(6));
+        assert!(s.debug_check_invariants());
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // 2x + 3y == 12, x == 3  =>  y == 2.
+        let mut s = Simplex::new();
+        let x = s.new_var("x");
+        let y = s.new_var("y");
+        s.assert_constraint(&Constraint::eq(
+            expr(&[(x, 2), (y, 3)], 0),
+            LinExpr::constant(12),
+        ));
+        s.assert_constraint(&Constraint::eq(LinExpr::var(x), LinExpr::constant(3)));
+        assert_eq!(s.check(), LpResult::Feasible);
+        assert_eq!(s.value(y), Rat::from(2));
+    }
+
+    #[test]
+    fn push_pop_restores_feasibility() {
+        let mut s = Simplex::new();
+        let x = s.new_var("x");
+        s.assert_lower(x, Rat::ZERO);
+        assert_eq!(s.check(), LpResult::Feasible);
+        s.push();
+        s.assert_upper(x, Rat::from(-1));
+        assert_eq!(s.check(), LpResult::Infeasible);
+        s.pop();
+        assert_eq!(s.check(), LpResult::Feasible);
+    }
+
+    #[test]
+    fn slack_reuse() {
+        let mut s = Simplex::new();
+        let x = s.new_var("x");
+        let y = s.new_var("y");
+        let e = expr(&[(x, 1), (y, 1)], 0);
+        s.assert_constraint(&Constraint::ge(e.clone(), LinExpr::constant(1)));
+        let rows_before = s.num_rows();
+        s.assert_constraint(&Constraint::le(e, LinExpr::constant(5)));
+        assert_eq!(s.num_rows(), rows_before, "same form must reuse slack");
+        assert_eq!(s.check(), LpResult::Feasible);
+    }
+
+    #[test]
+    fn chained_slacks_through_basic_substitution() {
+        // Force a pivot, then add a constraint whose expression mentions a
+        // variable that is now basic.
+        let mut s = Simplex::new();
+        let x = s.new_var("x");
+        let y = s.new_var("y");
+        let z = s.new_var("z");
+        s.assert_constraint(&Constraint::ge(
+            expr(&[(x, 1), (y, 1)], 0),
+            LinExpr::constant(4),
+        ));
+        assert_eq!(s.check(), LpResult::Feasible);
+        s.assert_constraint(&Constraint::ge(
+            expr(&[(x, 1), (z, 2)], 0),
+            LinExpr::constant(3),
+        ));
+        s.assert_constraint(&Constraint::le(LinExpr::var(x), LinExpr::constant(0)));
+        assert_eq!(s.check(), LpResult::Feasible);
+        assert!(s.debug_check_invariants());
+        assert!(s.value(x) + s.value(y) >= Rat::from(4));
+        assert!(s.value(x) + s.value(z) * Rat::from(2) >= Rat::from(3));
+    }
+
+    #[test]
+    fn unbounded_directions_are_fine() {
+        // No upper bounds anywhere; feasibility must still be decided.
+        let mut s = Simplex::new();
+        let x = s.new_var("x");
+        let y = s.new_var("y");
+        s.assert_constraint(&Constraint::ge(
+            expr(&[(x, 1), (y, -1)], 0),
+            LinExpr::constant(100),
+        ));
+        assert_eq!(s.check(), LpResult::Feasible);
+        assert!(s.value(x) - s.value(y) >= Rat::from(100));
+    }
+}

@@ -1,0 +1,545 @@
+//! The public satisfiability interface.
+
+use crate::constraint::Constraint;
+use crate::formula::Formula;
+use crate::linexpr::Var;
+use crate::model::{Model, SatResult, UnknownReason};
+use crate::rat::Rat;
+use crate::simplex::{LpResult, Simplex};
+
+/// Resource limits for a single [`Solver::check`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverConfig {
+    /// Maximum branch-and-bound nodes across the whole check.
+    pub max_branch_nodes: u64,
+    /// Maximum disjunction case splits across the whole check.
+    pub max_case_splits: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            max_branch_nodes: 200_000,
+            max_case_splits: 200_000,
+        }
+    }
+}
+
+/// Cumulative solver statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Number of `check` calls.
+    pub checks: u64,
+    /// Branch-and-bound nodes explored.
+    pub branch_nodes: u64,
+    /// Disjunction case splits explored.
+    pub case_splits: u64,
+    /// Simplex pivots performed.
+    pub pivots: u64,
+}
+
+struct Budget {
+    branch_nodes: u64,
+    case_splits: u64,
+}
+
+/// A satisfiability solver for quantifier-free linear **integer**
+/// arithmetic.
+///
+/// All variables range over ℤ (helpers create ℕ-constrained ones).
+/// Internally: case splitting over disjunctions, an exact-rational
+/// simplex for the relaxation, and branch-and-bound for integrality.
+/// Resource budgets turn runaway searches into
+/// [`SatResult::Unknown`] rather than wrong verdicts.
+///
+/// # Examples
+///
+/// ```
+/// use holistic_lia::{Constraint, LinExpr, Solver};
+///
+/// let mut solver = Solver::new();
+/// let x = solver.new_nonneg_var("x");
+/// let y = solver.new_nonneg_var("y");
+/// // 2x + 2y == 5 has no integer solution.
+/// solver.assert_constraint(Constraint::eq(
+///     LinExpr::term(x, 2) + LinExpr::term(y, 2),
+///     LinExpr::constant(5),
+/// ));
+/// assert!(solver.check().is_unsat());
+/// ```
+pub struct Solver {
+    simplex: Simplex,
+    user_vars: Vec<Var>,
+    /// Asserted formulas per level; `stack[0]` is the base level.
+    stack: Vec<Vec<Formula>>,
+    config: SolverConfig,
+    stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates a solver with default budgets.
+    pub fn new() -> Solver {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates a solver with explicit budgets.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        Solver {
+            simplex: Simplex::new(),
+            user_vars: Vec::new(),
+            stack: vec![Vec::new()],
+            config,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Allocates an unbounded integer variable.
+    pub fn new_var(&mut self, name: impl Into<String>) -> Var {
+        let v = self.simplex.new_var(name);
+        self.user_vars.push(v);
+        v
+    }
+
+    /// Allocates an integer variable constrained to be `>= 0`.
+    pub fn new_nonneg_var(&mut self, name: impl Into<String>) -> Var {
+        let v = self.new_var(name);
+        let r = self.simplex.assert_lower(v, Rat::ZERO);
+        debug_assert_eq!(r, LpResult::Feasible);
+        v
+    }
+
+    /// The name a variable was created with.
+    pub fn var_name(&self, v: Var) -> &str {
+        self.simplex.var_name(v)
+    }
+
+    /// Asserts a formula at the current level.
+    pub fn assert(&mut self, f: Formula) {
+        self.stack.last_mut().unwrap().push(f);
+    }
+
+    /// Asserts a single constraint at the current level.
+    pub fn assert_constraint(&mut self, c: Constraint) {
+        self.assert(Formula::Atom(c));
+    }
+
+    /// Opens a backtracking level.
+    pub fn push(&mut self) {
+        self.stack.push(Vec::new());
+    }
+
+    /// Discards all assertions made since the matching [`push`](Solver::push).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no open level.
+    pub fn pop(&mut self) {
+        assert!(self.stack.len() > 1, "pop without matching push");
+        self.stack.pop();
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SolverStats {
+        let mut s = self.stats;
+        s.pivots = self.simplex.pivot_count();
+        s
+    }
+
+    /// Decides satisfiability of the conjunction of all asserted formulas
+    /// over the integers.
+    pub fn check(&mut self) -> SatResult {
+        self.stats.checks += 1;
+        let goals: Vec<Formula> = self
+            .stack
+            .iter()
+            .flat_map(|level| level.iter())
+            .map(|f| f.to_nnf())
+            .collect();
+        let mut budget = Budget {
+            branch_nodes: self.config.max_branch_nodes,
+            case_splits: self.config.max_case_splits,
+        };
+        self.simplex.push();
+        let result = self.search(goals, &mut budget);
+        self.simplex.pop();
+        result
+    }
+
+    /// DFS over disjunctions. Precondition: the caller opened a simplex
+    /// level that this call may populate; the caller pops it.
+    fn search(&mut self, pending: Vec<Formula>, budget: &mut Budget) -> SatResult {
+        let mut queue = pending;
+        let mut disjunctions: Vec<Vec<Formula>> = Vec::new();
+        while let Some(f) = queue.pop() {
+            match f {
+                Formula::True => {}
+                Formula::False => return SatResult::Unsat,
+                Formula::Atom(c) => {
+                    if self.simplex.assert_constraint(&c) == LpResult::Infeasible {
+                        return SatResult::Unsat;
+                    }
+                }
+                Formula::And(fs) => queue.extend(fs),
+                Formula::Or(fs) => disjunctions.push(fs),
+                Formula::Not(_) => unreachable!("search runs on NNF formulas"),
+            }
+        }
+        // Prune before splitting: if the relaxation of the conjunctive
+        // part is already infeasible, no disjunct can rescue it.
+        if self.simplex.check() == LpResult::Infeasible {
+            return SatResult::Unsat;
+        }
+        if disjunctions.is_empty() {
+            return self.branch_and_bound(budget, 0);
+        }
+
+        // Disjunct filtering and unit propagation: a disjunct whose
+        // conjunctive content is LP-infeasible against the current state
+        // can never be chosen (sound: LP-infeasible ⟹ ℤ-infeasible);
+        // a disjunction reduced to one disjunct is forced. Each such
+        // simplification restarts this level, which in practice resolves
+        // most guard-conditional disjunctions without any branching.
+        //
+        // Filtering costs two simplex probes per disjunct, which only
+        // pays off when branching would otherwise explode; with few
+        // disjunctions, plain DFS with its per-branch prune is cheaper.
+        const FILTER_THRESHOLD: usize = 16;
+        if disjunctions.len() < FILTER_THRESHOLD {
+            disjunctions.sort_by_key(|d| d.len());
+            let first = disjunctions.remove(0);
+            let rest: Vec<Formula> = disjunctions.into_iter().map(Formula::Or).collect();
+            return self.branch(first, rest, budget);
+        }
+        let mut units: Vec<Formula> = Vec::new();
+        let mut remaining: Vec<Vec<Formula>> = Vec::new();
+        for d in disjunctions {
+            let mut kept = Vec::with_capacity(d.len());
+            for disj in d {
+                if Self::is_conjunctive(&disj) {
+                    self.simplex.push();
+                    let feasible = self.assert_conjunctive(&disj)
+                        && self.simplex.check() == LpResult::Feasible;
+                    self.simplex.pop();
+                    if feasible {
+                        kept.push(disj);
+                    }
+                } else {
+                    kept.push(disj); // nested Or: opaque to the filter
+                }
+            }
+            match kept.len() {
+                0 => return SatResult::Unsat,
+                1 => units.push(kept.pop().unwrap()),
+                _ => remaining.push(kept),
+            }
+        }
+        if !units.is_empty() {
+            units.extend(remaining.into_iter().map(Formula::Or));
+            return self.search(units, budget);
+        }
+        let mut disjunctions = remaining;
+
+        // Split on the smallest disjunction first.
+        disjunctions.sort_by_key(|d| d.len());
+        let first = disjunctions.remove(0);
+        let rest: Vec<Formula> = disjunctions.into_iter().map(Formula::Or).collect();
+        self.branch(first, rest, budget)
+    }
+
+    /// Case-splits on `first`, carrying `rest` into each branch.
+    fn branch(
+        &mut self,
+        first: Vec<Formula>,
+        rest: Vec<Formula>,
+        budget: &mut Budget,
+    ) -> SatResult {
+        let mut saw_unknown = None;
+        for disjunct in first {
+            if budget.case_splits == 0 {
+                return SatResult::Unknown(UnknownReason::SplitBudget);
+            }
+            budget.case_splits -= 1;
+            self.stats.case_splits += 1;
+            let mut goals = rest.clone();
+            goals.push(disjunct);
+            self.simplex.push();
+            let r = self.search(goals, budget);
+            self.simplex.pop();
+            match r {
+                SatResult::Sat(m) => return SatResult::Sat(m),
+                SatResult::Unsat => {}
+                SatResult::Unknown(reason) => saw_unknown = Some(reason),
+            }
+        }
+        match saw_unknown {
+            Some(reason) => SatResult::Unknown(reason),
+            None => SatResult::Unsat,
+        }
+    }
+
+    /// Whether the formula is free of disjunctions (atoms and
+    /// conjunctions only).
+    fn is_conjunctive(f: &Formula) -> bool {
+        match f {
+            Formula::True | Formula::False | Formula::Atom(_) => true,
+            Formula::And(fs) => fs.iter().all(Self::is_conjunctive),
+            Formula::Or(_) | Formula::Not(_) => false,
+        }
+    }
+
+    /// Asserts a conjunctive formula into the simplex; returns `false`
+    /// on an immediate conflict.
+    fn assert_conjunctive(&mut self, f: &Formula) -> bool {
+        match f {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Atom(c) => self.simplex.assert_constraint(c) == LpResult::Feasible,
+            Formula::And(fs) => fs.iter().all(|g| {
+                // Evaluation order matters for short-circuiting only.
+                self.assert_conjunctive(g)
+            }),
+            Formula::Or(_) | Formula::Not(_) => unreachable!("caller checked is_conjunctive"),
+        }
+    }
+
+    fn branch_and_bound(&mut self, budget: &mut Budget, depth: u32) -> SatResult {
+        /// Recursion guard: GCD-tightened systems virtually never branch
+        /// this deep; an adversarial unbounded system must not overflow
+        /// the stack, so past this depth we give up with `Unknown`.
+        const MAX_DEPTH: u32 = 1_000;
+        if self.simplex.check() == LpResult::Infeasible {
+            return SatResult::Unsat;
+        }
+        let fractional = self
+            .user_vars
+            .iter()
+            .copied()
+            .find(|&v| !self.simplex.value(v).is_integer());
+        let Some(v) = fractional else {
+            return SatResult::Sat(self.extract_model());
+        };
+        if budget.branch_nodes == 0 || depth >= MAX_DEPTH {
+            return SatResult::Unknown(UnknownReason::BranchBudget);
+        }
+        budget.branch_nodes -= 1;
+        self.stats.branch_nodes += 1;
+        let val = self.simplex.value(v);
+
+        self.simplex.push();
+        let lo_feasible = self.simplex.assert_upper(v, Rat::from(val.floor()));
+        let lo = if lo_feasible == LpResult::Infeasible {
+            SatResult::Unsat
+        } else {
+            self.branch_and_bound(budget, depth + 1)
+        };
+        self.simplex.pop();
+        if lo.is_sat() {
+            return lo;
+        }
+
+        self.simplex.push();
+        let hi_feasible = self.simplex.assert_lower(v, Rat::from(val.ceil()));
+        let hi = if hi_feasible == LpResult::Infeasible {
+            SatResult::Unsat
+        } else {
+            self.branch_and_bound(budget, depth + 1)
+        };
+        self.simplex.pop();
+        if hi.is_sat() {
+            return hi;
+        }
+
+        match (lo, hi) {
+            (SatResult::Unknown(r), _) | (_, SatResult::Unknown(r)) => SatResult::Unknown(r),
+            _ => SatResult::Unsat,
+        }
+    }
+
+    fn extract_model(&self) -> Model {
+        let mut m = Model::new();
+        for &v in &self.user_vars {
+            let value = self
+                .simplex
+                .value(v)
+                .to_integer()
+                .expect("model extraction requires integral values");
+            m.insert(v, value, self.simplex.var_name(v).to_owned());
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::LinExpr;
+
+    fn e(terms: &[(Var, i64)], c: i64) -> LinExpr {
+        let mut out = LinExpr::constant(c);
+        for &(v, k) in terms {
+            out.add_term(v, Rat::from(k));
+        }
+        out
+    }
+
+    #[test]
+    fn simple_sat() {
+        let mut s = Solver::new();
+        let x = s.new_nonneg_var("x");
+        s.assert_constraint(Constraint::ge(LinExpr::var(x), LinExpr::constant(3)));
+        let r = s.check();
+        let m = r.model().expect("sat");
+        assert!(m.value(x) >= 3);
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let mut s = Solver::new();
+        let x = s.new_nonneg_var("x");
+        s.assert_constraint(Constraint::le(LinExpr::var(x), LinExpr::constant(-1)));
+        assert!(s.check().is_unsat());
+    }
+
+    #[test]
+    fn integrality_cuts_rational_solutions() {
+        // 2x == 1: feasible over ℚ, infeasible over ℤ.
+        let mut s = Solver::new();
+        let x = s.new_var("x");
+        s.assert_constraint(Constraint::eq(e(&[(x, 2)], 0), LinExpr::constant(1)));
+        assert!(s.check().is_unsat());
+    }
+
+    #[test]
+    fn integrality_multi_var() {
+        // 2x + 4y == 7 has no integer solutions.
+        let mut s = Solver::new();
+        let x = s.new_var("x");
+        let y = s.new_var("y");
+        s.assert_constraint(Constraint::eq(e(&[(x, 2), (y, 4)], 0), LinExpr::constant(7)));
+        assert!(s.check().is_unsat());
+        // 2x + 4y == 6 does.
+        let mut s = Solver::new();
+        let x = s.new_var("x");
+        let y = s.new_var("y");
+        s.assert_constraint(Constraint::eq(e(&[(x, 2), (y, 4)], 0), LinExpr::constant(6)));
+        assert!(s.check().is_sat());
+    }
+
+    #[test]
+    fn branching_finds_integer_point() {
+        // 3x + 3y >= 5, x + y <= 2, x,y >= 0: rational optimum is
+        // fractional but (1,1) works.
+        let mut s = Solver::new();
+        let x = s.new_nonneg_var("x");
+        let y = s.new_nonneg_var("y");
+        s.assert_constraint(Constraint::ge(e(&[(x, 3), (y, 3)], 0), LinExpr::constant(5)));
+        s.assert_constraint(Constraint::le(e(&[(x, 1), (y, 1)], 0), LinExpr::constant(2)));
+        let r = s.check();
+        let m = r.model().expect("sat");
+        let (xv, yv) = (m.value(x), m.value(y));
+        assert!(3 * xv + 3 * yv >= 5 && xv + yv <= 2 && xv >= 0 && yv >= 0);
+    }
+
+    #[test]
+    fn disjunction_case_split() {
+        let mut s = Solver::new();
+        let x = s.new_nonneg_var("x");
+        // (x >= 10 ∨ x <= 2) ∧ x >= 3 ∧ x <= 9  is unsat.
+        s.assert(Formula::or([
+            Constraint::ge(LinExpr::var(x), LinExpr::constant(10)).into(),
+            Constraint::le(LinExpr::var(x), LinExpr::constant(2)).into(),
+        ]));
+        s.assert_constraint(Constraint::ge(LinExpr::var(x), LinExpr::constant(3)));
+        s.assert_constraint(Constraint::le(LinExpr::var(x), LinExpr::constant(9)));
+        assert!(s.check().is_unsat());
+    }
+
+    #[test]
+    fn negated_equality() {
+        let mut s = Solver::new();
+        let x = s.new_nonneg_var("x");
+        s.assert(Formula::not(Formula::atom(Constraint::eq(
+            LinExpr::var(x),
+            LinExpr::constant(0),
+        ))));
+        s.assert_constraint(Constraint::le(LinExpr::var(x), LinExpr::constant(0)));
+        assert!(s.check().is_unsat());
+    }
+
+    #[test]
+    fn push_pop() {
+        let mut s = Solver::new();
+        let x = s.new_nonneg_var("x");
+        s.assert_constraint(Constraint::le(LinExpr::var(x), LinExpr::constant(5)));
+        assert!(s.check().is_sat());
+        s.push();
+        s.assert_constraint(Constraint::ge(LinExpr::var(x), LinExpr::constant(6)));
+        assert!(s.check().is_unsat());
+        s.pop();
+        assert!(s.check().is_sat());
+    }
+
+    #[test]
+    fn implication() {
+        let mut s = Solver::new();
+        let x = s.new_nonneg_var("x");
+        let y = s.new_nonneg_var("y");
+        // (x >= 5 ⇒ y >= 5) ∧ x == 7 ∧ y <= 3  is unsat.
+        s.assert(Formula::implies(
+            Constraint::ge(LinExpr::var(x), LinExpr::constant(5)).into(),
+            Constraint::ge(LinExpr::var(y), LinExpr::constant(5)).into(),
+        ));
+        s.assert_constraint(Constraint::eq(LinExpr::var(x), LinExpr::constant(7)));
+        s.assert_constraint(Constraint::le(LinExpr::var(y), LinExpr::constant(3)));
+        assert!(s.check().is_unsat());
+    }
+
+    #[test]
+    fn model_satisfies_all_assertions() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..5).map(|i| s.new_nonneg_var(format!("v{i}"))).collect();
+        let mut sum = LinExpr::zero();
+        for &v in &vars {
+            sum += LinExpr::var(v);
+        }
+        s.assert_constraint(Constraint::eq(sum.clone(), LinExpr::constant(17)));
+        s.assert_constraint(Constraint::ge(LinExpr::var(vars[0]), LinExpr::var(vars[1])));
+        let r = s.check();
+        let m = r.model().expect("sat");
+        assert_eq!(m.eval(&sum), Rat::from(17));
+        assert!(m.value(vars[0]) >= m.value(vars[1]));
+    }
+
+    #[test]
+    fn resilience_condition_shape() {
+        // The shape used throughout the checker: n > 3t, t >= f >= 0,
+        // plus counters summing to n - f.
+        let mut s = Solver::new();
+        let n = s.new_nonneg_var("n");
+        let t = s.new_nonneg_var("t");
+        let f = s.new_nonneg_var("f");
+        s.assert_constraint(Constraint::gt(LinExpr::var(n), LinExpr::term(t, 3)));
+        s.assert_constraint(Constraint::ge(LinExpr::var(t), LinExpr::var(f)));
+        s.assert_constraint(Constraint::ge(LinExpr::var(t), LinExpr::constant(1)));
+        let r = s.check();
+        let m = r.model().expect("sat");
+        assert!(m.value(n) > 3 * m.value(t));
+        assert!(m.value(t) >= m.value(f));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let x = s.new_nonneg_var("x");
+        s.assert_constraint(Constraint::ge(LinExpr::var(x), LinExpr::constant(1)));
+        let _ = s.check();
+        let _ = s.check();
+        assert_eq!(s.stats().checks, 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based validation of the LIA solver against brute-force
+//! enumeration over small bounded domains.
+
+use holistic_lia::{Constraint, Formula, LinExpr, Rat, Solver, Var};
+use proptest::prelude::*;
+
+const DOMAIN: i64 = 4;
+const NUM_VARS: usize = 3;
+
+#[derive(Clone, Debug)]
+struct RawConstraint {
+    coeffs: [i64; NUM_VARS],
+    constant: i64,
+    rel: u8, // 0 <=, 1 >=, 2 ==
+}
+
+impl RawConstraint {
+    fn holds(&self, assignment: &[i64; NUM_VARS]) -> bool {
+        let lhs: i64 = self
+            .coeffs
+            .iter()
+            .zip(assignment)
+            .map(|(c, v)| c * v)
+            .sum::<i64>()
+            + self.constant;
+        match self.rel {
+            0 => lhs <= 0,
+            1 => lhs >= 0,
+            _ => lhs == 0,
+        }
+    }
+
+    fn build(&self, vars: &[Var]) -> Constraint {
+        let mut e = LinExpr::constant(self.constant as i128);
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            e.add_term(vars[i], Rat::from(c));
+        }
+        match self.rel {
+            0 => Constraint::le(e, LinExpr::zero()),
+            1 => Constraint::ge(e, LinExpr::zero()),
+            _ => Constraint::eq(e, LinExpr::zero()),
+        }
+    }
+}
+
+fn raw_constraint() -> impl Strategy<Value = RawConstraint> {
+    (
+        prop::array::uniform3(-3i64..=3),
+        -8i64..=8,
+        0u8..=2,
+    )
+        .prop_map(|(coeffs, constant, rel)| RawConstraint {
+            coeffs,
+            constant,
+            rel,
+        })
+}
+
+/// Brute-force satisfiability over the bounded domain.
+fn brute_force_sat(cs: &[RawConstraint]) -> bool {
+    let mut a = [0i64; NUM_VARS];
+    for x in 0..=DOMAIN {
+        for y in 0..=DOMAIN {
+            for z in 0..=DOMAIN {
+                a = [x, y, z];
+                if cs.iter().all(|c| c.holds(&a)) {
+                    return true;
+                }
+            }
+        }
+    }
+    let _ = a;
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// With explicit domain bounds asserted, solver and brute force
+    /// agree exactly.
+    #[test]
+    fn conjunctions_agree_with_brute_force(cs in prop::collection::vec(raw_constraint(), 1..5)) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..NUM_VARS)
+            .map(|i| solver.new_nonneg_var(format!("v{i}")))
+            .collect();
+        for &v in &vars {
+            solver.assert_constraint(Constraint::le(
+                LinExpr::var(v),
+                LinExpr::constant(DOMAIN as i128),
+            ));
+        }
+        for c in &cs {
+            solver.assert_constraint(c.build(&vars));
+        }
+        let result = solver.check();
+        prop_assert!(!matches!(result, holistic_lia::SatResult::Unknown(_)));
+        prop_assert_eq!(result.is_sat(), brute_force_sat(&cs));
+        // Models must actually satisfy everything.
+        if let Some(m) = result.model() {
+            let a = [m.value(vars[0]) as i64, m.value(vars[1]) as i64, m.value(vars[2]) as i64];
+            for c in &cs {
+                prop_assert!(c.holds(&a), "model {:?} violates {:?}", a, c);
+            }
+        }
+    }
+
+    /// Disjunctions: (A ∨ B) ∧ rest agrees with brute force.
+    #[test]
+    fn disjunctions_agree_with_brute_force(
+        a in raw_constraint(),
+        b in raw_constraint(),
+        rest in prop::collection::vec(raw_constraint(), 0..3),
+    ) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..NUM_VARS)
+            .map(|i| solver.new_nonneg_var(format!("v{i}")))
+            .collect();
+        for &v in &vars {
+            solver.assert_constraint(Constraint::le(
+                LinExpr::var(v),
+                LinExpr::constant(DOMAIN as i128),
+            ));
+        }
+        solver.assert(Formula::or([
+            Formula::atom(a.build(&vars)),
+            Formula::atom(b.build(&vars)),
+        ]));
+        for c in &rest {
+            solver.assert_constraint(c.build(&vars));
+        }
+        let expected = {
+            let mut found = false;
+            for x in 0..=DOMAIN {
+                for y in 0..=DOMAIN {
+                    for z in 0..=DOMAIN {
+                        let asg = [x, y, z];
+                        if (a.holds(&asg) || b.holds(&asg)) && rest.iter().all(|c| c.holds(&asg)) {
+                            found = true;
+                        }
+                    }
+                }
+            }
+            found
+        };
+        prop_assert_eq!(solver.check().is_sat(), expected);
+    }
+
+    /// Negation round-trips: c and ¬c partition every assignment.
+    #[test]
+    fn negation_partitions(c in raw_constraint()) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..NUM_VARS)
+            .map(|i| solver.new_nonneg_var(format!("v{i}")))
+            .collect();
+        let built = c.build(&vars);
+        for x in 0..=2 {
+            for y in 0..=2 {
+                for z in 0..=2 {
+                    let asg = [x, y, z];
+                    let direct = c.holds(&asg);
+                    let via_negate = !built
+                        .negate()
+                        .iter()
+                        .any(|n| n.eval(|v| Rat::from(asg[v.index()] as i128)));
+                    prop_assert_eq!(direct, via_negate, "at {:?}", asg);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Justice (fairness-of-communication) specifications.
+//!
+//! The paper models reliable communication as: *"if the guard of a rule
+//! is true infinitely often, then the origin location of that rule will
+//! eventually be empty"*. On the stable tail of a fair run this becomes
+//! a state condition: for every requirement, either its enabling
+//! condition is false or its source location is empty.
+//!
+//! [`Justice::from_rules`] derives the default requirement set — one per
+//! non-self-loop rule. Models may need **weaker** requirements: in the
+//! simplified consensus automaton (Fig. 4) the gadget rules that stand
+//! for bv-delivery are only guaranteed to make progress under the
+//! *proved* bv-broadcast properties (Appendix F of the paper), e.g. `M1`
+//! must drain only once `bvb0 ≥ t+1` (BV-Obligation), not as soon as
+//! `bvb0 ≥ 1`. Such models construct their [`Justice`] explicitly.
+
+use holistic_ta::{AtomicGuard, LocationId, ThresholdAutomaton};
+
+use crate::prop::Prop;
+
+/// One justice requirement: whenever `condition` holds at the stable
+/// tail, `source` must be empty there.
+#[derive(Clone, PartialEq, Debug)]
+pub struct JusticeRequirement {
+    /// The enabling condition (over the tail configuration).
+    pub condition: Prop,
+    /// The location that must have drained.
+    pub source: LocationId,
+    /// Human-readable origin of the requirement (rule name or property).
+    pub origin: String,
+}
+
+/// A set of justice requirements under which liveness is checked.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Justice {
+    /// The requirements.
+    pub requirements: Vec<JusticeRequirement>,
+}
+
+impl Justice {
+    /// No requirements at all (pure safety reasoning; liveness checks
+    /// with empty justice will usually find trivial stutter violations).
+    pub fn none() -> Justice {
+        Justice::default()
+    }
+
+    /// The default justice: one requirement per non-self-loop rule —
+    /// if the rule's guard holds (forever, at the tail), its source
+    /// location must be empty. This is exactly the paper's reliable
+    /// communication assumption applied rule-wise.
+    pub fn from_rules(ta: &ThresholdAutomaton) -> Justice {
+        let mut requirements = Vec::new();
+        for rule in &ta.rules {
+            if rule.is_self_loop() {
+                continue;
+            }
+            let condition = Prop::and(
+                rule.guard
+                    .atoms()
+                    .iter()
+                    .cloned()
+                    .map(|a: AtomicGuard| Prop::guard(a)),
+            );
+            requirements.push(JusticeRequirement {
+                condition,
+                source: rule.from,
+                origin: rule.name.clone(),
+            });
+        }
+        Justice { requirements }
+    }
+
+    /// Adds a requirement.
+    pub fn require(
+        &mut self,
+        condition: Prop,
+        source: LocationId,
+        origin: impl Into<String>,
+    ) -> &mut Self {
+        self.requirements.push(JusticeRequirement {
+            condition,
+            source,
+            origin: origin.into(),
+        });
+        self
+    }
+
+    /// Removes every requirement whose source is `loc` (used by models
+    /// that replace rule-wise justice for a gadget location with
+    /// property-derived requirements).
+    pub fn clear_source(&mut self, loc: LocationId) -> &mut Self {
+        self.requirements.retain(|r| r.source != loc);
+        self
+    }
+
+    /// The tail condition expressed as a single proposition:
+    /// `∧ (¬condition ∨ κ[source] = 0)`.
+    pub fn as_prop(&self) -> Prop {
+        Prop::and(self.requirements.iter().map(|r| {
+            Prop::or([r.condition.negate(), Prop::loc_empty(r.source)])
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_ta::{Config, Guard, ParamExpr, TaBuilder, VarExpr};
+
+    #[test]
+    fn default_justice_mirrors_rules() {
+        let mut b = TaBuilder::new("j");
+        let n = b.param("n");
+        let f = b.param("f");
+        b.size_n_minus_f(n, f);
+        let x = b.shared("x");
+        let v = b.initial_location("V");
+        let d = b.final_location("D");
+        b.rule(
+            "r1",
+            v,
+            d,
+            Guard::atom(holistic_ta::AtomicGuard::ge(
+                VarExpr::var(x),
+                ParamExpr::constant(1),
+            )),
+        );
+        b.self_loop(d);
+        let ta = b.build().unwrap();
+        let j = Justice::from_rules(&ta);
+        assert_eq!(j.requirements.len(), 1, "self-loop must be skipped");
+        assert_eq!(j.requirements[0].source, v);
+    }
+
+    #[test]
+    fn justice_prop_semantics() {
+        let mut b = TaBuilder::new("j");
+        let n = b.param("n");
+        let f = b.param("f");
+        b.size_n_minus_f(n, f);
+        let x = b.shared("x");
+        let v = b.initial_location("V");
+        let d = b.final_location("D");
+        b.rule(
+            "r1",
+            v,
+            d,
+            Guard::atom(holistic_ta::AtomicGuard::ge(
+                VarExpr::var(x),
+                ParamExpr::constant(1),
+            )),
+        );
+        let ta = b.build().unwrap();
+        let j = Justice::from_rules(&ta);
+        let p = j.as_prop();
+        // Guard true (x=1), V non-empty: justice violated -> prop false.
+        let stuck_bad = Config {
+            counters: vec![1, 0],
+            shared: vec![1],
+        };
+        assert!(!p.eval(&stuck_bad, &[2, 0]));
+        // Guard false (x=0): prop true even with V non-empty.
+        let waiting = Config {
+            counters: vec![1, 0],
+            shared: vec![0],
+        };
+        assert!(p.eval(&waiting, &[2, 0]));
+        // V empty: prop true regardless.
+        let drained = Config {
+            counters: vec![0, 1],
+            shared: vec![1],
+        };
+        assert!(p.eval(&drained, &[2, 0]));
+    }
+
+    #[test]
+    fn clear_and_require_override() {
+        let mut b = TaBuilder::new("j");
+        let n = b.param("n");
+        let f = b.param("f");
+        b.size_n_minus_f(n, f);
+        let v = b.initial_location("V");
+        let d = b.final_location("D");
+        b.rule("r1", v, d, Guard::always());
+        let ta = b.build().unwrap();
+        let mut j = Justice::from_rules(&ta);
+        j.clear_source(v);
+        assert!(j.requirements.is_empty());
+        j.require(Prop::True, v, "BV-Termination");
+        assert_eq!(j.requirements.len(), 1);
+        assert_eq!(j.requirements[0].origin, "BV-Termination");
+    }
+}

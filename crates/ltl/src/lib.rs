@@ -1,0 +1,28 @@
+//! # holistic-ltl — the specification layer
+//!
+//! Linear temporal logic over threshold-automaton state atoms (location
+//! emptiness, guard evaluation), as used in §3.2 and §5 of the paper,
+//! together with the machinery that makes the fragment checkable:
+//!
+//! * [`Prop`] / [`StateAtom`] — state propositions;
+//! * [`Ltl`] — the temporal layer ([`Ltl::always`], [`Ltl::eventually`],
+//!   implications);
+//! * [`stability`] — proves propositions *stable* (once true, always
+//!   true), the side condition for reducing `♢`/`□` to the stable tail
+//!   of a fair run;
+//! * [`classify`] — translates a formula into the [`Query`] form the
+//!   checker decides, or rejects it with a [`FragmentError`];
+//! * [`Justice`] — the reliable-communication fairness, rule-derived or
+//!   property-derived (Appendix F).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod formula;
+mod justice;
+mod prop;
+pub mod stability;
+
+pub use formula::{classify, FragmentError, Ltl, Query};
+pub use justice::{Justice, JusticeRequirement};
+pub use prop::{Prop, StateAtom};

@@ -1,0 +1,208 @@
+//! Stability analysis of state propositions.
+//!
+//! A proposition is **stable** if, once true, it remains true along any
+//! run of the counter system. Stability is what lets the checker reduce
+//! temporal operators to evaluation at the *stable tail* of a fair run
+//! (see the crate docs of `holistic-checker`):
+//!
+//! * `♢p` with `p` stable ⟺ `p` holds at the tail;
+//! * `□¬q` with `q` stable ⟺ `¬q` holds at the tail.
+//!
+//! Sources of stability in the increment-only TA class:
+//!
+//! * a **rise** guard (`vars ≥ threshold`) can only flip false → true;
+//! * `∧ κ[L] = 0` over a location set `S` is stable iff no rule enters
+//!   `S` from outside (emptiness of an inflow-closed set persists);
+//! * `∨ κ[L] ≠ 0` over a set `S` is stable iff no rule leaves `S`
+//!   (processes inside an outflow-closed set stay inside).
+//!
+//! The conjunction/disjunction cases are checked **as sets**, which is
+//! strictly more precise than atom-by-atom: `C0` alone has outflow to
+//! `CB0`, but the union `{C0, CB0, C01}` of the bv-broadcast automaton
+//! is outflow-closed, so "value 0 was delivered by someone" is stable
+//! even though "someone is in C0" is not.
+
+use holistic_ta::{LocationId, ThresholdAutomaton};
+
+use crate::prop::{Prop, StateAtom};
+
+/// Whether no non-self-loop rule enters `set` from outside it.
+pub fn inflow_closed(ta: &ThresholdAutomaton, set: &[LocationId]) -> bool {
+    let inside = |l: LocationId| set.contains(&l);
+    ta.rules
+        .iter()
+        .filter(|r| !r.is_self_loop())
+        .all(|r| !inside(r.to) || inside(r.from))
+}
+
+/// Whether no non-self-loop rule leaves `set`.
+pub fn outflow_closed(ta: &ThresholdAutomaton, set: &[LocationId]) -> bool {
+    let inside = |l: LocationId| set.contains(&l);
+    ta.rules
+        .iter()
+        .filter(|r| !r.is_self_loop())
+        .all(|r| !inside(r.from) || inside(r.to))
+}
+
+/// Whether `prop` is stable (once true, true forever) in every run of
+/// `ta`. Sound but not complete: a `false` answer means "could not prove
+/// stable", upon which classification rejects the formula rather than
+/// producing a possibly-wrong verdict.
+pub fn is_stable(ta: &ThresholdAutomaton, prop: &Prop) -> bool {
+    match prop {
+        Prop::True | Prop::False => true,
+        Prop::Atom(a) => atom_is_stable(ta, a),
+        Prop::And(ps) => {
+            // Group the emptiness atoms and check them as one set.
+            let mut empties = Vec::new();
+            for p in ps {
+                match p {
+                    Prop::Atom(StateAtom::LocEmpty(l)) => empties.push(*l),
+                    other => {
+                        if !is_stable(ta, other) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            empties.is_empty() || inflow_closed(ta, &empties)
+        }
+        Prop::Or(ps) => {
+            // Group the non-emptiness atoms and check them as one set.
+            let mut nonempties = Vec::new();
+            for p in ps {
+                match p {
+                    Prop::Atom(StateAtom::LocNonEmpty(l)) => nonempties.push(*l),
+                    other => {
+                        if !is_stable(ta, other) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            nonempties.is_empty() || outflow_closed(ta, &nonempties)
+        }
+    }
+}
+
+fn atom_is_stable(ta: &ThresholdAutomaton, atom: &StateAtom) -> bool {
+    match atom {
+        StateAtom::LocEmpty(l) => inflow_closed(ta, &[*l]),
+        StateAtom::LocNonEmpty(l) => outflow_closed(ta, &[*l]),
+        // Rise guards only flip false → true; their truth is stable.
+        StateAtom::Guard(g) => g.is_rise(),
+        // NotGuard of a fall guard (`¬(vars < th)` = `vars ≥ th`) is
+        // rise-like, hence stable; NotGuard of a rise guard is not.
+        StateAtom::NotGuard(g) => !g.is_rise(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_ta::{AtomicGuard, Guard, ParamExpr, TaBuilder, VarExpr};
+
+    /// V -> A -> B, V -> C; D isolated sink from C.
+    fn chain() -> ThresholdAutomaton {
+        let mut b = TaBuilder::new("chain");
+        let n = b.param("n");
+        let f = b.param("f");
+        b.size_n_minus_f(n, f);
+        let x = b.shared("x");
+        let v = b.initial_location("V");
+        let a = b.location("A");
+        let bb = b.location("B");
+        let c = b.location("C");
+        let d = b.final_location("D");
+        b.rule("r1", v, a, Guard::always()).inc(x, 1);
+        b.rule("r2", a, bb, Guard::always());
+        b.rule("r3", v, c, Guard::always());
+        b.rule("r4", c, d, Guard::always());
+        b.self_loop(d);
+        b.build().unwrap()
+    }
+
+    fn loc(ta: &ThresholdAutomaton, name: &str) -> LocationId {
+        ta.location_by_name(name).unwrap()
+    }
+
+    #[test]
+    fn inflow_and_outflow_closure() {
+        let ta = chain();
+        let (v, a, bb, c, d) = (
+            loc(&ta, "V"),
+            loc(&ta, "A"),
+            loc(&ta, "B"),
+            loc(&ta, "C"),
+            loc(&ta, "D"),
+        );
+        // V has no inflow.
+        assert!(inflow_closed(&ta, &[v]));
+        // A has inflow from V.
+        assert!(!inflow_closed(&ta, &[a]));
+        // {V, A} as a set: inflow only from V which is inside.
+        assert!(inflow_closed(&ta, &[v, a]));
+        // D has no outflow (self-loop ignored).
+        assert!(outflow_closed(&ta, &[d]));
+        // C flows out to D.
+        assert!(!outflow_closed(&ta, &[c]));
+        // {C, D} is outflow-closed.
+        assert!(outflow_closed(&ta, &[c, d]));
+        // {A, B} is outflow-closed and inflow-open.
+        assert!(outflow_closed(&ta, &[a, bb]));
+        assert!(!inflow_closed(&ta, &[a, bb]));
+    }
+
+    #[test]
+    fn emptiness_of_initial_location_is_stable() {
+        let ta = chain();
+        assert!(is_stable(&ta, &Prop::loc_empty(loc(&ta, "V"))));
+        assert!(!is_stable(&ta, &Prop::loc_empty(loc(&ta, "A"))));
+    }
+
+    #[test]
+    fn set_conjunction_is_more_precise_than_atoms() {
+        let ta = chain();
+        let a = loc(&ta, "A");
+        let bb = loc(&ta, "B");
+        // κ[B]=0 alone is unstable (inflow from A) but κ[A]=0 ∧ κ[B]=0
+        // only has inflow from V... which is outside, so still unstable.
+        assert!(!is_stable(&ta, &Prop::loc_empty(bb)));
+        assert!(!is_stable(&ta, &Prop::all_empty([a, bb])));
+        // Adding V closes the set.
+        let v = loc(&ta, "V");
+        assert!(is_stable(&ta, &Prop::all_empty([v, a, bb])));
+    }
+
+    #[test]
+    fn nonemptiness_disjunction_over_closed_set_is_stable() {
+        let ta = chain();
+        let c = loc(&ta, "C");
+        let d = loc(&ta, "D");
+        assert!(!is_stable(&ta, &Prop::loc_nonempty(c)));
+        assert!(is_stable(&ta, &Prop::any_nonempty([c, d])));
+    }
+
+    #[test]
+    fn rise_guard_truth_is_stable() {
+        let ta = chain();
+        let x = ta.variable_by_name("x").unwrap();
+        let g = AtomicGuard::ge(VarExpr::var(x), ParamExpr::constant(1));
+        assert!(is_stable(&ta, &Prop::guard(g.clone())));
+        // Its negation is not.
+        assert!(!is_stable(
+            &ta,
+            &Prop::Atom(StateAtom::Guard(g).negate())
+        ));
+    }
+
+    #[test]
+    fn mixed_conjunction() {
+        let ta = chain();
+        let x = ta.variable_by_name("x").unwrap();
+        let g = AtomicGuard::ge(VarExpr::var(x), ParamExpr::constant(1));
+        let v = loc(&ta, "V");
+        let p = Prop::and([Prop::loc_empty(v), Prop::guard(g)]);
+        assert!(is_stable(&ta, &p));
+    }
+}

@@ -1,0 +1,32 @@
+//! # holistic-models — the paper's threshold automata
+//!
+//! The three automata of *Holistic Verification of Blockchain Consensus*
+//! (DISC 2022; PODC 2022 brief announcement), built programmatically
+//! with `holistic-ta` and paired with their LTL specifications
+//! (`holistic-ltl`) and justice assumptions:
+//!
+//! * [`BvBroadcastModel`] — the binary value broadcast (Fig. 2) with
+//!   BV-Justification / Obligation / Uniformity / Termination (§3.2);
+//! * [`NaiveConsensusModel`] — DBFT consensus modelled directly with the
+//!   embedded broadcast (Fig. 3, Table 3); too many guards to enumerate,
+//!   reproducing the Table 2 timeout row;
+//! * [`SimplifiedConsensusModel`] — the gadget-based automaton (Fig. 4)
+//!   with Inv1/Inv2 (⇒ Agreement, Validity), Dec/Good/SRoundTerm
+//!   (⇒ Termination under fair bv-broadcast, Theorem 6) and the
+//!   Appendix-F justice assumption;
+//! * [`ReliableBroadcastModel`] — the classic Byzantine reliable
+//!   broadcast (§7's canonical related-work benchmark), as an extra
+//!   verified model and fast checker regression.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bv_broadcast;
+mod reliable_broadcast;
+mod naive_consensus;
+mod simplified_consensus;
+
+pub use bv_broadcast::{BvBroadcastModel, LocationRow};
+pub use reliable_broadcast::ReliableBroadcastModel;
+pub use naive_consensus::NaiveConsensusModel;
+pub use simplified_consensus::SimplifiedConsensusModel;

@@ -1,0 +1,28 @@
+//! The shipped `.ta` text models must stay in sync with the builders.
+
+use holistic_models::{BvBroadcastModel, NaiveConsensusModel, SimplifiedConsensusModel};
+use holistic_ta::{parse_ta, to_ta_source};
+
+#[test]
+fn bv_broadcast_file_matches_builder() {
+    let ta = BvBroadcastModel::new().ta;
+    let shipped = include_str!("../ta/bv_broadcast.ta");
+    assert_eq!(parse_ta(shipped).unwrap(), ta);
+    assert_eq!(to_ta_source(&ta), shipped);
+}
+
+#[test]
+fn naive_consensus_file_matches_builder() {
+    let ta = NaiveConsensusModel::new().ta;
+    let shipped = include_str!("../ta/naive_consensus.ta");
+    assert_eq!(parse_ta(shipped).unwrap(), ta);
+    assert_eq!(to_ta_source(&ta), shipped);
+}
+
+#[test]
+fn simplified_consensus_file_matches_builder() {
+    let ta = SimplifiedConsensusModel::new().ta;
+    let shipped = include_str!("../ta/simplified_consensus.ta");
+    assert_eq!(parse_ta(shipped).unwrap(), ta);
+    assert_eq!(to_ta_source(&ta), shipped);
+}

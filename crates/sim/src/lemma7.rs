@@ -1,0 +1,171 @@
+//! The non-termination adversary of the paper's Lemma 7 (Appendix B).
+//!
+//! With `n = 4`, `t = f = 1` and correct proposals `0, 0, 1`, a
+//! Byzantine process plus a crafted delivery order keep the correct
+//! estimates in a two-against-one split forever: in every round the two
+//! majority holders carry `1 − (r mod 2)`, the round's parity value is
+//! held by exactly one process, every process ends the round with
+//! `qualifiers` that prevent a decision, and the pattern recurs with the
+//! roles permuted. DBFT without the fairness assumption therefore never
+//! terminates — which is exactly why the paper introduces the fair
+//! bv-broadcast (Definition 3) before proving Theorem 6.
+
+use crate::message::{Payload, ProcessId, ValueSet};
+use crate::simulation::Simulation;
+
+/// Drives one round of the Lemma 7 schedule.
+///
+/// `x1`, `x2` hold the majority value `a = 1 − (round mod 2)`; `y` holds
+/// the parity value; `byz` is the Byzantine process. Returns the new
+/// `(x1, x2, y)` role assignment for the next round.
+///
+/// # Panics
+///
+/// Panics if the expected messages are not in flight (i.e. the
+/// simulation was not set up with the Lemma 7 preconditions).
+fn run_round(
+    sim: &mut Simulation,
+    x1: ProcessId,
+    x2: ProcessId,
+    y: ProcessId,
+    byz: ProcessId,
+    round: u64,
+) -> (ProcessId, ProcessId, ProcessId) {
+    let parity = (round % 2) as u8;
+    let a = 1 - parity;
+    let bv = |value: u8| Payload::Bv { round, value };
+    let aux = |v: u8| Payload::Aux {
+        round,
+        values: ValueSet::singleton(v),
+    };
+    let deliver = |sim: &mut Simulation, from: ProcessId, to: ProcessId, payload: Payload| {
+        assert!(
+            sim.deliver_matching(|e| e.from == from && e.to == to && e.payload == payload),
+            "lemma7 script: missing {payload:?} from {from} to {to} in round {round}"
+        );
+    };
+
+    // Step 1: x1 and x2 bv-deliver `a` first (from x1, x2 and the
+    // Byzantine).
+    sim.inject(byz, x1, bv(a));
+    sim.inject(byz, x2, bv(a));
+    for target in [x1, x2] {
+        deliver(sim, x1, target, bv(a));
+        deliver(sim, x2, target, bv(a));
+        deliver(sim, byz, target, bv(a));
+    }
+
+    // Step 2: x2 and y bv-deliver the parity value: both see it from y
+    // and the Byzantine; x2 echoes it, completing y's quorum.
+    sim.inject(byz, x2, bv(parity));
+    sim.inject(byz, y, bv(parity));
+    deliver(sim, y, x2, bv(parity));
+    deliver(sim, byz, x2, bv(parity)); // t+1 distinct: x2 echoes
+    deliver(sim, x2, x2, bv(parity)); // own echo: 2t+1, x2 delivers
+    deliver(sim, y, y, bv(parity));
+    deliver(sim, byz, y, bv(parity));
+    deliver(sim, x2, y, bv(parity)); // y delivers parity *first*
+
+    // Step 3: y bv-delivers `a` second.
+    deliver(sim, x1, y, bv(a));
+    deliver(sim, x2, y, bv(a)); // t+1: y echoes a
+    deliver(sim, y, y, bv(a)); // own echo: 2t+1, y delivers a
+
+    // Step 4: aux quorums. x1 sees only {a}: qualifiers {a}, keeps a (no
+    // decision: a is not the parity). x2 and y see mixed values:
+    // qualifiers {0, 1}, estimate := parity.
+    sim.inject(byz, x1, aux(a));
+    deliver(sim, x1, x1, aux(a));
+    deliver(sim, x2, x1, aux(a));
+    deliver(sim, byz, x1, aux(a));
+
+    sim.inject(byz, x2, aux(parity));
+    deliver(sim, x1, x2, aux(a));
+    deliver(sim, x2, x2, aux(a));
+    deliver(sim, byz, x2, aux(parity));
+
+    sim.inject(byz, y, aux(parity));
+    deliver(sim, y, y, aux(parity));
+    deliver(sim, byz, y, aux(parity));
+    deliver(sim, x1, y, aux(a));
+
+    // Flush stale messages of this round (discarded by communication
+    // closure: everyone has advanced).
+    while sim.deliver_matching(|e| e.payload.round() <= round) {}
+
+    // New roles: x1 now holds `a`, which is round r+1's parity value, so
+    // x1 plays y; x2 and y hold the new majority value.
+    (x2, y, x1)
+}
+
+/// Runs `superrounds × 2` rounds of the Lemma 7 schedule on a fresh
+/// `n = 4, t = f = 1` system with proposals `0, 0, 1` and asserts after
+/// each round that **no** correct process has decided.
+///
+/// Returns the simulation for further inspection.
+///
+/// # Panics
+///
+/// Panics if a process decides (the schedule failed) or the scripted
+/// messages are missing.
+pub fn run_lemma7(superrounds: u64) -> Simulation {
+    let params = crate::simulation::SimParams { n: 4, t: 1, f: 1 };
+    let mut sim = Simulation::new(params, &[0, 0, 1, 0]);
+    let byz = ProcessId(3);
+    let (mut x1, mut x2, mut y) = (ProcessId(0), ProcessId(1), ProcessId(2));
+    for round in 1..=superrounds * 2 {
+        let (nx1, nx2, ny) = run_round(&mut sim, x1, x2, y, byz, round);
+        x1 = nx1;
+        x2 = nx2;
+        y = ny;
+        assert!(
+            sim.decisions().iter().all(Option::is_none),
+            "a process decided in round {round}: the adversary failed"
+        );
+        // The 2-vs-1 estimate split persists, with the singleton holding
+        // the next round's parity value.
+        let next_parity = ((round + 1) % 2) as u8;
+        let estimates: Vec<u8> = sim
+            .correct_ids()
+            .iter()
+            .map(|&p| sim.process(p).estimate())
+            .collect();
+        let count_parity = estimates.iter().filter(|&&e| e == next_parity).count();
+        assert_eq!(
+            count_parity, 1,
+            "round {round}: estimates {estimates:?} lost the 2-vs-1 split"
+        );
+        assert_eq!(sim.process(y).estimate(), next_parity);
+    }
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbft_does_not_terminate_without_fairness() {
+        // 10 superrounds = 20 rounds of sustained non-termination.
+        let sim = run_lemma7(10);
+        assert!(sim.decisions().iter().all(Option::is_none));
+        // All correct processes are in round 21.
+        for p in sim.correct_ids() {
+            assert_eq!(sim.process(p).round(), 21);
+        }
+    }
+
+    #[test]
+    fn estimates_cycle_with_period_two() {
+        let sim = run_lemma7(3);
+        // After an even number of rounds the multiset of estimates is
+        // back to {0, 0, 1}.
+        let mut estimates: Vec<u8> = sim
+            .correct_ids()
+            .iter()
+            .map(|&p| sim.process(p).estimate())
+            .collect();
+        estimates.sort_unstable();
+        assert_eq!(estimates, vec![0, 0, 1]);
+    }
+}

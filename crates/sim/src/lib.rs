@@ -1,0 +1,44 @@
+//! # holistic-sim — executable DBFT consensus
+//!
+//! A message-level simulation of the algorithms the paper verifies: the
+//! binary value broadcast (Fig. 1) and the DBFT binary Byzantine
+//! consensus (Alg. 1, the coordinator-free safe variant), under an
+//! asynchronous reliable network whose delivery order is adversarial.
+//!
+//! * [`DbftProcess`] — a correct process (both protocol layers);
+//! * [`Simulation`] — the system: correct + Byzantine processes, the
+//!   in-flight message pool, the event trace;
+//! * [`Scheduler`]s — [`RandomScheduler`] (optionally with Byzantine
+//!   noise), [`GoodRoundScheduler`] (realises the paper's fairness
+//!   assumption, Definition 3);
+//! * [`run_lemma7`] — the scripted adversary of Lemma 7 / Appendix B
+//!   that keeps DBFT undecided forever without fairness;
+//! * [`monitor`] — Agreement/Validity/Termination and BV-property
+//!   checks over traces.
+//!
+//! # Examples
+//!
+//! ```
+//! use holistic_sim::{GoodRoundScheduler, Outcome, SimParams, Simulation};
+//!
+//! let mut sim = Simulation::new(SimParams { n: 4, t: 1, f: 1 }, &[0, 1, 1, 0]);
+//! let mut scheduler = GoodRoundScheduler::new();
+//! assert_eq!(sim.run(&mut scheduler, 1_000_000), Outcome::AllDecided);
+//! holistic_sim::monitor::check_agreement(&sim).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod lemma7;
+mod message;
+pub mod monitor;
+mod process;
+mod simulation;
+
+pub use lemma7::run_lemma7;
+pub use message::{Envelope, Payload, ProcessId, ValueSet};
+pub use process::{DbftProcess, Decision, Event};
+pub use simulation::{
+    GoodRoundScheduler, Outcome, RandomScheduler, Scheduler, SimParams, Simulation,
+};

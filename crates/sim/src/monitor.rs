@@ -1,0 +1,204 @@
+//! Trace monitors: the consensus properties (§2) and the bv-broadcast
+//! properties (§3.2) checked on concrete executions.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::message::ProcessId;
+use crate::process::Event;
+use crate::simulation::Simulation;
+
+/// A monitor violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// Which property failed.
+    pub property: &'static str,
+    /// Human-readable details.
+    pub details: String,
+}
+
+/// **Agreement**: no two correct processes decide different values.
+pub fn check_agreement(sim: &Simulation) -> Result<(), Violation> {
+    let mut decided: Option<(ProcessId, u8)> = None;
+    for (i, d) in sim.decisions().into_iter().enumerate() {
+        if let Some(d) = d {
+            match decided {
+                None => decided = Some((ProcessId(i), d.value)),
+                Some((first, v)) if v != d.value => {
+                    return Err(Violation {
+                        property: "Agreement",
+                        details: format!(
+                            "{first} decided {v} but p{i} decided {}",
+                            d.value
+                        ),
+                    })
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **Validity**: if all correct processes propose the same value, no
+/// other value is decided. (`proposals` are the correct processes'
+/// inputs, in id order.)
+pub fn check_validity(sim: &Simulation, proposals: &[u8]) -> Result<(), Violation> {
+    let unanimous = proposals.windows(2).all(|w| w[0] == w[1]);
+    if !unanimous {
+        return Ok(()); // both values admissible
+    }
+    let Some(&v) = proposals.first() else {
+        return Ok(());
+    };
+    for (i, d) in sim.decisions().into_iter().enumerate() {
+        if let Some(d) = d {
+            if d.value != v {
+                return Err(Violation {
+                    property: "Validity",
+                    details: format!("all correct proposed {v} but p{i} decided {}", d.value),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **Termination** (under a budget): every correct process decided.
+pub fn check_termination(sim: &Simulation) -> Result<(), Violation> {
+    if sim.all_decided() {
+        Ok(())
+    } else {
+        let undecided: Vec<String> = sim
+            .correct_ids()
+            .into_iter()
+            .filter(|&p| sim.process(p).decision().is_none())
+            .map(|p| p.to_string())
+            .collect();
+        Err(Violation {
+            property: "Termination",
+            details: format!("undecided: {}", undecided.join(", ")),
+        })
+    }
+}
+
+/// **BV-Justification** on the trace: every value bv-delivered by a
+/// correct process in round `r` was bv-broadcast (as an estimate) by
+/// some correct process in round `r`. (Echoes cannot launder a purely
+/// Byzantine value: `t+1` distinct senders include a correct one.)
+pub fn check_bv_justification(sim: &Simulation) -> Result<(), Violation> {
+    let mut broadcast: HashSet<(u64, u8)> = HashSet::new();
+    for e in sim.trace() {
+        if let Event::BvBroadcast { round, value, .. } = e {
+            broadcast.insert((*round, *value));
+        }
+    }
+    for e in sim.trace() {
+        if let Event::BvDeliver {
+            process,
+            round,
+            value,
+            ..
+        } = e
+        {
+            if !broadcast.contains(&(*round, *value)) {
+                return Err(Violation {
+                    property: "BV-Justification",
+                    details: format!(
+                        "{process} delivered {value} in round {round}, which no correct \
+                         process bv-broadcast"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Finds a *(r mod 2)-good* round in the trace (Definition 2/3): a round
+/// in which every correct process's **first** bv-delivery was the
+/// round's parity value. Returns the first such round, if any. The
+/// paper's fairness assumption is precisely that such a round exists in
+/// every infinite execution.
+pub fn find_good_round(sim: &Simulation) -> Option<u64> {
+    // first_delivery[(round, process)] = value delivered first.
+    let mut first_delivery: HashMap<(u64, ProcessId), u8> = HashMap::new();
+    let mut rounds: HashSet<u64> = HashSet::new();
+    for e in sim.trace() {
+        if let Event::BvDeliver {
+            process,
+            round,
+            value,
+            first: true,
+        } = e
+        {
+            first_delivery.insert((*round, *process), *value);
+            rounds.insert(*round);
+        }
+    }
+    let correct = sim.correct_ids();
+    let mut rounds: Vec<u64> = rounds.into_iter().collect();
+    rounds.sort_unstable();
+    rounds.into_iter().find(|&r| {
+        let parity = (r % 2) as u8;
+        correct
+            .iter()
+            .all(|&p| first_delivery.get(&(r, p)) == Some(&parity))
+    })
+}
+
+/// Runs all safety monitors; `proposals` are the correct processes'
+/// inputs.
+pub fn check_safety(sim: &Simulation, proposals: &[u8]) -> Result<(), Violation> {
+    check_agreement(sim)?;
+    check_validity(sim, proposals)?;
+    check_bv_justification(sim)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::{GoodRoundScheduler, Outcome, RandomScheduler, SimParams, Simulation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn monitors_pass_on_honest_runs() {
+        let proposals = [0, 1, 1];
+        let mut sim = Simulation::new(SimParams { n: 4, t: 1, f: 1 }, &[0, 1, 1, 0]);
+        let mut sched = GoodRoundScheduler::new();
+        assert_eq!(sim.run(&mut sched, 1_000_000), Outcome::AllDecided);
+        check_safety(&sim, &proposals).unwrap();
+        check_termination(&sim).unwrap();
+    }
+
+    #[test]
+    fn good_round_scheduler_produces_good_round() {
+        let mut sim = Simulation::new(SimParams { n: 4, t: 1, f: 1 }, &[0, 1, 0, 0]);
+        let mut sched = GoodRoundScheduler::new();
+        let _ = sim.run(&mut sched, 1_000_000);
+        assert!(
+            find_good_round(&sim).is_some(),
+            "the fair scheduler must realise Definition 3"
+        );
+    }
+
+    #[test]
+    fn justification_holds_under_byzantine_noise() {
+        for seed in 0..10 {
+            let mut sim = Simulation::new(SimParams { n: 4, t: 1, f: 1 }, &[0, 0, 1, 0]);
+            let mut sched = RandomScheduler::with_noise(StdRng::seed_from_u64(seed), 300);
+            let _ = sim.run(&mut sched, 200_000);
+            check_bv_justification(&sim).unwrap();
+        }
+    }
+
+    #[test]
+    fn lemma7_runs_pass_safety_but_not_termination() {
+        let sim = crate::lemma7::run_lemma7(3);
+        check_safety(&sim, &[0, 0, 1]).unwrap();
+        assert!(check_termination(&sim).is_err());
+        // And indeed no round was good: the adversary prevents fairness.
+        assert_eq!(find_good_round(&sim), None);
+    }
+}

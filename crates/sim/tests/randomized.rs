@@ -1,0 +1,72 @@
+//! Randomized system-level properties of the DBFT simulation.
+
+use holistic_sim::{
+    monitor, GoodRoundScheduler, Outcome, RandomScheduler, SimParams, Simulation,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn proposals(n: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=1, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Agreement and validity hold on every random schedule, for both
+    /// silent and noisy Byzantine processes.
+    #[test]
+    fn safety_under_random_schedules(
+        props in proposals(4),
+        seed in 0u64..1_000_000,
+        noise in 0u32..400,
+    ) {
+        let params = SimParams { n: 4, t: 1, f: 1 };
+        let mut sim = Simulation::new(params, &props);
+        let mut sched = RandomScheduler::with_noise(
+            rand::rngs::StdRng::seed_from_u64(seed),
+            noise,
+        );
+        let _ = sim.run(&mut sched, 150_000);
+        let correct = &props[..3];
+        prop_assert!(monitor::check_safety(&sim, correct).is_ok());
+    }
+
+    /// Under the fair scheduler every run terminates, decisions agree,
+    /// and the decided value is some correct process's proposal.
+    #[test]
+    fn fair_scheduler_terminates_and_decides_validly(
+        props in proposals(4),
+        _seed in 0u64..10,
+    ) {
+        let params = SimParams { n: 4, t: 1, f: 1 };
+        let mut sim = Simulation::new(params, &props);
+        let mut sched = GoodRoundScheduler::new();
+        let outcome = sim.run(&mut sched, 2_000_000);
+        prop_assert_eq!(outcome, Outcome::AllDecided);
+        let decided: Vec<u8> = sim.decisions().into_iter().flatten().map(|d| d.value).collect();
+        prop_assert_eq!(decided.len(), 3);
+        prop_assert!(decided.windows(2).all(|w| w[0] == w[1]));
+        // Validity: the decided value was proposed by some correct
+        // process (with mixed inputs both values qualify).
+        let correct = &props[..3];
+        prop_assert!(correct.contains(&decided[0]));
+        prop_assert!(monitor::check_safety(&sim, correct).is_ok());
+    }
+
+    /// Larger system: n = 7, t = 2, f = 2.
+    #[test]
+    fn safety_scales_to_seven_processes(
+        props in proposals(7),
+        seed in 0u64..1_000_000,
+    ) {
+        let params = SimParams { n: 7, t: 2, f: 2 };
+        let mut sim = Simulation::new(params, &props);
+        let mut sched = RandomScheduler::with_noise(
+            rand::rngs::StdRng::seed_from_u64(seed),
+            150,
+        );
+        let _ = sim.run(&mut sched, 150_000);
+        prop_assert!(monitor::check_safety(&sim, &props[..5]).is_ok());
+    }
+}

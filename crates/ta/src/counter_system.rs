@@ -1,0 +1,493 @@
+//! Explicit-state counter-system semantics for *fixed* parameters.
+//!
+//! The parameterized checker (`holistic-checker`) proves properties for
+//! **all** parameter values; this module executes a threshold automaton
+//! for one concrete valuation, by explicit-state exploration. It serves
+//! two purposes:
+//!
+//! * cross-validation — every verdict of the symbolic checker can be
+//!   spot-checked against exhaustive exploration at small `n`;
+//! * simulation — random runs of the counter system for testing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::automaton::ThresholdAutomaton;
+use crate::expr::{LocationId, RuleId};
+
+/// A configuration of the counter system: per-location process counters
+/// plus shared-variable values.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Config {
+    /// `counters[l]` = number of (correct) processes in location `l`.
+    pub counters: Vec<i64>,
+    /// Shared-variable values.
+    pub shared: Vec<i64>,
+}
+
+impl Config {
+    /// Number of processes in `l`.
+    pub fn count(&self, l: LocationId) -> i64 {
+        self.counters[l.0]
+    }
+
+    /// Whether location `l` is empty.
+    pub fn is_empty_loc(&self, l: LocationId) -> bool {
+        self.counters[l.0] == 0
+    }
+}
+
+/// Errors from [`CounterSystem::new`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SemanticsError {
+    /// Wrong number of parameter values.
+    ParamArity {
+        /// Parameters declared by the automaton.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// The parameter valuation violates the resilience condition.
+    ResilienceViolated,
+    /// The size expression evaluates to a negative process count.
+    NegativeSize(i64),
+}
+
+impl fmt::Display for SemanticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticsError::ParamArity { expected, got } => {
+                write!(f, "expected {expected} parameter values, got {got}")
+            }
+            SemanticsError::ResilienceViolated => {
+                write!(f, "parameter valuation violates the resilience condition")
+            }
+            SemanticsError::NegativeSize(s) => write!(f, "negative process count {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SemanticsError {}
+
+/// The counter system `Sys(TA)` of a threshold automaton for a fixed
+/// parameter valuation.
+///
+/// # Examples
+///
+/// ```
+/// use holistic_ta::{CounterSystem, Guard, TaBuilder};
+///
+/// let mut b = TaBuilder::new("tiny");
+/// let n = b.param("n");
+/// let f = b.param("f");
+/// let v = b.initial_location("V");
+/// let d = b.final_location("D");
+/// b.size_n_minus_f(n, f);
+/// b.rule("r", v, d, Guard::always());
+/// let ta = b.build().unwrap();
+///
+/// let sys = CounterSystem::new(&ta, &[3, 0]).unwrap();
+/// let exploration = sys.explore(10_000);
+/// assert!(exploration.complete());
+/// // Some reachable configuration has everyone in D.
+/// assert!(exploration
+///     .find(|c| c.counters[1] == 3)
+///     .is_some());
+/// ```
+#[derive(Debug)]
+pub struct CounterSystem<'a> {
+    ta: &'a ThresholdAutomaton,
+    params: Vec<i64>,
+    size: i64,
+}
+
+impl<'a> CounterSystem<'a> {
+    /// Instantiates the automaton with concrete parameter values.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the arity is wrong, the resilience condition does not
+    /// hold, or the size expression is negative.
+    pub fn new(ta: &'a ThresholdAutomaton, params: &[i64]) -> Result<Self, SemanticsError> {
+        if params.len() != ta.params.len() {
+            return Err(SemanticsError::ParamArity {
+                expected: ta.params.len(),
+                got: params.len(),
+            });
+        }
+        if !ta.resilience.iter().all(|c| c.eval(params)) {
+            return Err(SemanticsError::ResilienceViolated);
+        }
+        let size = ta.size_expr.eval(params);
+        if size < 0 {
+            return Err(SemanticsError::NegativeSize(size));
+        }
+        Ok(CounterSystem {
+            ta,
+            params: params.to_vec(),
+            size,
+        })
+    }
+
+    /// The automaton being executed.
+    pub fn automaton(&self) -> &ThresholdAutomaton {
+        self.ta
+    }
+
+    /// The number of modelled processes.
+    pub fn size(&self) -> i64 {
+        self.size
+    }
+
+    /// The parameter valuation.
+    pub fn params(&self) -> &[i64] {
+        &self.params
+    }
+
+    /// All initial configurations: every distribution of the processes
+    /// over the initial locations, shared variables zero.
+    pub fn initial_configs(&self) -> Vec<Config> {
+        let initial = self.ta.initial_locations();
+        let mut out = Vec::new();
+        let mut counts = vec![0i64; initial.len()];
+        self.distribute(self.size, 0, &initial, &mut counts, &mut out);
+        out
+    }
+
+    fn distribute(
+        &self,
+        remaining: i64,
+        idx: usize,
+        initial: &[LocationId],
+        counts: &mut [i64],
+        out: &mut Vec<Config>,
+    ) {
+        if idx == initial.len() {
+            if remaining == 0 {
+                let mut counters = vec![0i64; self.ta.locations.len()];
+                for (i, &l) in initial.iter().enumerate() {
+                    counters[l.0] = counts[i];
+                }
+                out.push(Config {
+                    counters,
+                    shared: vec![0; self.ta.variables.len()],
+                });
+            }
+            return;
+        }
+        if idx == initial.len() - 1 {
+            counts[idx] = remaining;
+            self.distribute(0, idx + 1, initial, counts, out);
+            counts[idx] = 0;
+            return;
+        }
+        for k in 0..=remaining {
+            counts[idx] = k;
+            self.distribute(remaining - k, idx + 1, initial, counts, out);
+            counts[idx] = 0;
+        }
+    }
+
+    /// Whether `rule` is enabled in `config` (guard true, source
+    /// non-empty). Self-loops report as never enabled: they do not change
+    /// the configuration.
+    pub fn is_enabled(&self, config: &Config, rule: RuleId) -> bool {
+        let r = &self.ta.rules[rule.0];
+        if r.is_self_loop() {
+            return false;
+        }
+        config.counters[r.from.0] >= 1 && r.guard.eval(&config.shared, &self.params)
+    }
+
+    /// All enabled (proper) rules.
+    pub fn enabled_rules(&self, config: &Config) -> Vec<RuleId> {
+        (0..self.ta.rules.len())
+            .map(RuleId)
+            .filter(|&r| self.is_enabled(config, r))
+            .collect()
+    }
+
+    /// Fires `rule` on `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rule is not enabled.
+    pub fn apply(&self, config: &Config, rule: RuleId) -> Config {
+        assert!(self.is_enabled(config, rule), "rule not enabled");
+        let r = &self.ta.rules[rule.0];
+        let mut next = config.clone();
+        next.counters[r.from.0] -= 1;
+        next.counters[r.to.0] += 1;
+        for &(v, amount) in &r.update {
+            next.shared[v.0] += amount as i64;
+        }
+        next
+    }
+
+    /// Whether the configuration is *justice-stuck*: no proper rule is
+    /// enabled, i.e. every rule whose guard holds has an empty source.
+    /// Under the paper's reliable-communication assumption, the stable
+    /// tail of every fair infinite run is such a configuration.
+    pub fn is_stuck(&self, config: &Config) -> bool {
+        self.enabled_rules(config).is_empty()
+    }
+
+    /// Breadth-first exploration of the reachable state space from all
+    /// initial configurations, up to `max_configs` states.
+    pub fn explore(&self, max_configs: usize) -> Exploration {
+        self.explore_from(self.initial_configs(), max_configs)
+    }
+
+    /// Breadth-first exploration from the given configurations.
+    pub fn explore_from(&self, roots: Vec<Config>, max_configs: usize) -> Exploration {
+        let mut configs: Vec<Config> = Vec::new();
+        let mut parent: Vec<Option<(usize, RuleId)>> = Vec::new();
+        let mut index: HashMap<Config, usize> = HashMap::new();
+        let mut complete = true;
+        for root in roots {
+            if index.contains_key(&root) {
+                continue;
+            }
+            index.insert(root.clone(), configs.len());
+            configs.push(root);
+            parent.push(None);
+        }
+        let mut head = 0;
+        while head < configs.len() {
+            if configs.len() >= max_configs {
+                complete = false;
+                break;
+            }
+            let current = configs[head].clone();
+            for rule in self.enabled_rules(&current) {
+                let next = self.apply(&current, rule);
+                if !index.contains_key(&next) {
+                    index.insert(next.clone(), configs.len());
+                    configs.push(next);
+                    parent.push(Some((head, rule)));
+                }
+            }
+            head += 1;
+        }
+        Exploration {
+            configs,
+            parent,
+            index,
+            complete,
+        }
+    }
+
+    /// A random maximal run: repeatedly fires a uniformly chosen enabled
+    /// rule until the configuration is stuck or `max_steps` is reached.
+    /// Returns the visited configurations (first is the start).
+    pub fn random_run(
+        &self,
+        start: Config,
+        max_steps: usize,
+        rng: &mut impl rand::Rng,
+    ) -> Vec<(Option<RuleId>, Config)> {
+        let mut trace = vec![(None, start)];
+        for _ in 0..max_steps {
+            let current = &trace.last().unwrap().1;
+            let enabled = self.enabled_rules(current);
+            if enabled.is_empty() {
+                break;
+            }
+            let rule = enabled[rng.gen_range(0..enabled.len())];
+            let next = self.apply(current, rule);
+            trace.push((Some(rule), next));
+        }
+        trace
+    }
+}
+
+/// The result of a breadth-first exploration.
+#[derive(Debug)]
+pub struct Exploration {
+    configs: Vec<Config>,
+    parent: Vec<Option<(usize, RuleId)>>,
+    index: HashMap<Config, usize>,
+    complete: bool,
+}
+
+impl Exploration {
+    /// Whether the whole reachable state space was explored (the budget
+    /// was not hit).
+    pub fn complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Number of distinct configurations found.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether nothing was explored.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// The configurations, in BFS order.
+    pub fn configs(&self) -> &[Config] {
+        &self.configs
+    }
+
+    /// Finds the first configuration satisfying a predicate.
+    pub fn find(&self, mut pred: impl FnMut(&Config) -> bool) -> Option<usize> {
+        self.configs.iter().position(|c| pred(c))
+    }
+
+    /// Whether every explored configuration satisfies the predicate.
+    /// Only a proof if [`complete`](Exploration::complete) is true.
+    pub fn all(&self, mut pred: impl FnMut(&Config) -> bool) -> bool {
+        self.configs.iter().all(|c| pred(c))
+    }
+
+    /// The index of a configuration, if explored.
+    pub fn index_of(&self, c: &Config) -> Option<usize> {
+        self.index.get(c).copied()
+    }
+
+    /// The rule-labelled path from an initial configuration to the
+    /// configuration at `idx`.
+    pub fn path_to(&self, idx: usize) -> Vec<(Option<RuleId>, Config)> {
+        let mut path = Vec::new();
+        let mut current = idx;
+        loop {
+            match self.parent[current] {
+                Some((p, rule)) => {
+                    path.push((Some(rule), self.configs[current].clone()));
+                    current = p;
+                }
+                None => {
+                    path.push((None, self.configs[current].clone()));
+                    break;
+                }
+            }
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::TaBuilder;
+    use crate::expr::{AtomicGuard, Guard, ParamExpr, VarExpr};
+
+    /// A tiny echo automaton: V0/V1 broadcast, D after seeing n-f msgs.
+    fn echo() -> ThresholdAutomaton {
+        let mut b = TaBuilder::new("echo");
+        let n = b.param("n");
+        let _t = b.param("t");
+        let f = b.param("f");
+        let sent = b.shared("sent");
+        let v0 = b.initial_location("V0");
+        let v1 = b.initial_location("V1");
+        let s = b.location("S");
+        let d = b.final_location("D");
+        b.size_n_minus_f(n, f);
+        b.rule("send0", v0, s, Guard::always()).inc(sent, 1);
+        b.rule("send1", v1, s, Guard::always()).inc(sent, 1);
+        let mut thresh = ParamExpr::param(n);
+        thresh.add_term(f, -1);
+        b.rule(
+            "deliver",
+            s,
+            d,
+            Guard::atom(AtomicGuard::ge(VarExpr::var(sent), thresh)),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let ta = echo();
+        assert!(matches!(
+            CounterSystem::new(&ta, &[4, 1]),
+            Err(SemanticsError::ParamArity { .. })
+        ));
+    }
+
+    #[test]
+    fn initial_configs_enumerate_distributions() {
+        let ta = echo();
+        let sys = CounterSystem::new(&ta, &[4, 1, 1]).unwrap();
+        assert_eq!(sys.size(), 3);
+        // 3 processes over 2 initial locations: 4 distributions.
+        assert_eq!(sys.initial_configs().len(), 4);
+        for c in sys.initial_configs() {
+            assert_eq!(c.counters.iter().sum::<i64>(), 3);
+            assert!(c.shared.iter().all(|&v| v == 0));
+        }
+    }
+
+    #[test]
+    fn exploration_reaches_decisions() {
+        let ta = echo();
+        let sys = CounterSystem::new(&ta, &[4, 1, 1]).unwrap();
+        let ex = sys.explore(100_000);
+        assert!(ex.complete());
+        let d = ta.location_by_name("D").unwrap();
+        // All three processes can deliver.
+        let goal = ex.find(|c| c.count(d) == 3).expect("full delivery reachable");
+        let path = ex.path_to(goal);
+        assert_eq!(path.len(), 7); // 3 sends + 3 delivers + initial
+        assert!(path[0].0.is_none());
+    }
+
+    #[test]
+    fn guard_blocks_until_threshold() {
+        let ta = echo();
+        let sys = CounterSystem::new(&ta, &[4, 1, 1]).unwrap();
+        // One process in S, sent = 1 < n - f = 3: deliver disabled.
+        let mut counters = vec![0i64; ta.locations.len()];
+        counters[ta.location_by_name("S").unwrap().0] = 1;
+        counters[ta.location_by_name("V0").unwrap().0] = 2;
+        let cfg = Config {
+            counters,
+            shared: vec![1],
+        };
+        let deliver = ta.rule_by_name("deliver").unwrap();
+        assert!(!sys.is_enabled(&cfg, deliver));
+        let send0 = ta.rule_by_name("send0").unwrap();
+        assert!(sys.is_enabled(&cfg, send0));
+    }
+
+    #[test]
+    fn stuck_detection() {
+        let ta = echo();
+        let sys = CounterSystem::new(&ta, &[4, 1, 1]).unwrap();
+        let ex = sys.explore(100_000);
+        let d = ta.location_by_name("D").unwrap();
+        // The all-delivered configuration is stuck; initial ones are not.
+        let goal = ex.find(|c| c.count(d) == 3).unwrap();
+        assert!(sys.is_stuck(&ex.configs()[goal]));
+        assert!(!sys.is_stuck(&ex.configs()[0]));
+    }
+
+    #[test]
+    fn random_runs_terminate_at_stuck_configs() {
+        use rand::SeedableRng;
+        let ta = echo();
+        let sys = CounterSystem::new(&ta, &[4, 1, 1]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for start in sys.initial_configs() {
+            let trace = sys.random_run(start, 1_000, &mut rng);
+            let last = &trace.last().unwrap().1;
+            assert!(sys.is_stuck(last), "run should end stuck");
+            // Process count is invariant.
+            assert_eq!(last.counters.iter().sum::<i64>(), 3);
+        }
+    }
+
+    #[test]
+    fn process_count_is_invariant_across_exploration() {
+        let ta = echo();
+        let sys = CounterSystem::new(&ta, &[7, 2, 2]).unwrap();
+        let ex = sys.explore(100_000);
+        assert!(ex.complete());
+        assert!(ex.all(|c| c.counters.iter().sum::<i64>() == 5));
+    }
+}

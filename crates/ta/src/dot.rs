@@ -1,0 +1,113 @@
+//! Graphviz (DOT) rendering of threshold automata.
+//!
+//! This regenerates the paper's automaton figures (Fig. 2, 3, 4) from
+//! the model definitions: `dot -Tpdf` on the output reproduces the
+//! diagrams' content (layout aside).
+
+use std::fmt::Write as _;
+
+use crate::automaton::ThresholdAutomaton;
+
+/// Renders the automaton as a DOT digraph.
+///
+/// Conventions: initial locations are drawn as double circles, final
+/// locations as bold circles, round-switch rules as dotted edges (as in
+/// the paper), and self-loops as grey loops. Edge labels carry the rule
+/// name, its guard and its updates.
+pub fn to_dot(ta: &ThresholdAutomaton) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", ta.name);
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=11];");
+    for (i, l) in ta.locations.iter().enumerate() {
+        let mut attrs = vec![format!("label=\"{}\"", l.name)];
+        if l.initial {
+            attrs.push("shape=doublecircle".to_owned());
+        }
+        if l.is_final {
+            attrs.push("style=bold".to_owned());
+        }
+        let _ = writeln!(out, "  L{} [{}];", i, attrs.join(", "));
+    }
+    for r in &ta.rules {
+        let mut label = r.name.clone();
+        if !r.guard.is_true() {
+            let parts: Vec<String> = r
+                .guard
+                .atoms()
+                .iter()
+                .map(|a| {
+                    format!(
+                        "{} {} {}",
+                        a.lhs.display(&ta.variables),
+                        a.cmp,
+                        a.rhs.display(&ta.params)
+                    )
+                })
+                .collect();
+            let _ = write!(label, ": {}", parts.join(" && "));
+        }
+        if !r.update.is_empty() {
+            let parts: Vec<String> = r
+                .update
+                .iter()
+                .map(|&(v, amount)| {
+                    if amount == 1 {
+                        format!("{}++", ta.variables[v.0])
+                    } else {
+                        format!("{} += {}", ta.variables[v.0], amount)
+                    }
+                })
+                .collect();
+            let _ = write!(label, " / {}", parts.join(", "));
+        }
+        let mut attrs = vec![format!("label=\"{}\"", label)];
+        if r.round_switch {
+            attrs.push("style=dotted".to_owned());
+        }
+        if r.is_self_loop() {
+            attrs.push("color=grey".to_owned());
+        }
+        let _ = writeln!(out, "  L{} -> L{} [{}];", r.from.0, r.to.0, attrs.join(", "));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::TaBuilder;
+    use crate::expr::{AtomicGuard, Guard, ParamExpr, VarExpr};
+
+    #[test]
+    fn dot_output_contains_structure() {
+        let mut b = TaBuilder::new("demo");
+        let n = b.param("n");
+        let t = b.param("t");
+        let f = b.param("f");
+        let b0 = b.shared("b0");
+        let v0 = b.initial_location("V0");
+        let c0 = b.final_location("C0");
+        b.size_n_minus_f(n, f);
+        let mut thresh = ParamExpr::term(t, 2);
+        thresh.add_constant(1);
+        thresh.add_term(f, -1);
+        b.rule(
+            "r3",
+            v0,
+            c0,
+            Guard::atom(AtomicGuard::ge(VarExpr::var(b0), thresh)),
+        )
+        .inc(b0, 1);
+        b.self_loop(c0);
+        let ta = b.build().unwrap();
+        let dot = to_dot(&ta);
+        assert!(dot.contains("digraph \"demo\""));
+        assert!(dot.contains("doublecircle"), "initial marking missing");
+        assert!(dot.contains("style=bold"), "final marking missing");
+        assert!(dot.contains("b0 >= 2t - f + 1"), "guard label missing: {dot}");
+        assert!(dot.contains("b0++"), "update label missing");
+        assert!(dot.contains("color=grey"), "self-loop styling missing");
+    }
+}

@@ -1,0 +1,59 @@
+//! # holistic-ta — threshold automata
+//!
+//! The modelling substrate of the holistic-verification workspace: the
+//! threshold-automaton (TA) formalism of Konnov, Veith & Widder, in the
+//! increment-only, DAG-shaped class used by the paper's models.
+//!
+//! * [`ThresholdAutomaton`] / [`TaBuilder`] — locations, shared
+//!   variables, parameters, threshold-guarded rules, resilience
+//!   conditions;
+//! * [`CounterSystem`] — explicit-state semantics for fixed parameters
+//!   (exploration, random runs), used to cross-validate the symbolic
+//!   checker;
+//! * [`unroll`] — multi-round composition with round-switch rules (the
+//!   "superround" construction of the paper's Figures 3 and 4);
+//! * [`parse_ta`] — a ByMC-inspired text format;
+//! * [`to_dot`] — Graphviz rendering, regenerating the paper's figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use holistic_ta::{parse_ta, CounterSystem};
+//!
+//! let ta = parse_ta(
+//!     "automaton demo {
+//!          params n, t, f;
+//!          shared echo;
+//!          resilience n > 3t, t >= f, f >= 0;
+//!          processes n - f;
+//!          initial V;
+//!          final D;
+//!          rule send: V -> D when true do echo += 1;
+//!      }",
+//! )?;
+//! let sys = CounterSystem::new(&ta, &[4, 1, 1])?;
+//! assert!(sys.explore(1_000).complete());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod automaton;
+mod counter_system;
+mod dot;
+mod expr;
+mod multiround;
+mod parse;
+mod print;
+
+pub use automaton::{Location, Rule, RuleHandle, TaBuilder, ThresholdAutomaton, ValidationError};
+pub use counter_system::{Config, CounterSystem, Exploration, SemanticsError};
+pub use dot::to_dot;
+pub use expr::{
+    AtomicGuard, Guard, GuardCmp, LocationId, ParamCmp, ParamConstraint, ParamExpr, ParamId,
+    RuleId, VarExpr, VarId,
+};
+pub use multiround::unroll;
+pub use parse::{parse_ta, ParseError};
+pub use print::to_ta_source;

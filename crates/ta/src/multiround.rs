@@ -1,0 +1,211 @@
+//! Multi-round threshold automata by unrolling.
+//!
+//! A multi-round TA is a one-round TA plus *round-switch* rules that
+//! connect final locations of round `k` with initial locations of round
+//! `k+1` (the dotted arrows of the paper's Figures 3 and 4). The paper's
+//! consensus automata are two-round unrollings ("superrounds"): DBFT
+//! favours different values depending on round parity, so one superround
+//! concatenates an odd and an even round.
+//!
+//! Checking `∀R. φ[R]` for a multi-round automaton reduces to checking
+//! `φ` on the one-round automaton over **all** initial distributions
+//! (CONCUR'19, Theorem 6; Appendix A of the paper): communication
+//! closure lets any asynchronous run be reordered into a round-rigid
+//! one, and every round starts with arbitrary counters on the initial
+//! locations and fresh (zero) shared variables. The checker therefore
+//! takes the unrolled superround automaton produced here and quantifies
+//! over its initial distributions, which is exactly that enlarged set.
+
+use crate::automaton::{Location, Rule, ThresholdAutomaton};
+use crate::expr::{AtomicGuard, Guard, LocationId, VarExpr, VarId};
+
+/// Unrolls `ta` into `rounds` consecutive copies.
+///
+/// * Locations and shared variables of round `k ≥ 2` are suffixed with
+///   `k−1` primes (`V0`, `V0'`, `V0''`, …), matching the paper's
+///   notation.
+/// * `switches` maps a final location of one round to an initial
+///   location of the next (given as ids of the base automaton); a
+///   guard-true rule marked [`round_switch`](Rule::round_switch) is
+///   inserted for each pair and each round boundary.
+/// * Only round 1's initial locations stay initial, and only the last
+///   round's final locations stay final.
+///
+/// # Panics
+///
+/// Panics if a switch pair does not connect a final location to an
+/// initial location of the base automaton, or if `rounds == 0`.
+pub fn unroll(
+    ta: &ThresholdAutomaton,
+    rounds: usize,
+    switches: &[(LocationId, LocationId)],
+    name: impl Into<String>,
+) -> ThresholdAutomaton {
+    assert!(rounds >= 1, "unroll needs at least one round");
+    for &(from, to) in switches {
+        assert!(
+            ta.locations[from.0].is_final,
+            "round switch must leave a final location"
+        );
+        assert!(
+            ta.locations[to.0].initial,
+            "round switch must enter an initial location"
+        );
+    }
+
+    let n_locs = ta.locations.len();
+    let n_vars = ta.variables.len();
+    let mut out = ThresholdAutomaton {
+        name: name.into(),
+        locations: Vec::with_capacity(n_locs * rounds),
+        variables: Vec::with_capacity(n_vars * rounds),
+        params: ta.params.clone(),
+        rules: Vec::new(),
+        resilience: ta.resilience.clone(),
+        size_expr: ta.size_expr.clone(),
+    };
+
+    let suffix = |round: usize| "'".repeat(round);
+    for round in 0..rounds {
+        for l in &ta.locations {
+            out.locations.push(Location {
+                name: format!("{}{}", l.name, suffix(round)),
+                initial: l.initial && round == 0,
+                is_final: l.is_final && round == rounds - 1,
+            });
+        }
+        for v in &ta.variables {
+            out.variables.push(format!("{}{}", v, suffix(round)));
+        }
+    }
+
+    let loc_in = |round: usize, l: LocationId| LocationId(round * n_locs + l.0);
+    let var_in = |round: usize, v: VarId| VarId(round * n_vars + v.0);
+
+    for round in 0..rounds {
+        for rule in &ta.rules {
+            let guard = Guard::all(rule.guard.atoms().iter().map(|a| {
+                let mut lhs = VarExpr::default();
+                for (v, c) in a.lhs.iter() {
+                    lhs.add_term(var_in(round, v), c);
+                }
+                AtomicGuard {
+                    lhs,
+                    cmp: a.cmp,
+                    rhs: a.rhs.clone(),
+                }
+            }));
+            out.rules.push(Rule {
+                name: format!("{}{}", rule.name, suffix(round)),
+                from: loc_in(round, rule.from),
+                to: loc_in(round, rule.to),
+                guard,
+                update: rule
+                    .update
+                    .iter()
+                    .map(|&(v, amount)| (var_in(round, v), amount))
+                    .collect(),
+                round_switch: false,
+            });
+        }
+        if round + 1 < rounds {
+            for (i, &(from, to)) in switches.iter().enumerate() {
+                out.rules.push(Rule {
+                    name: format!("sw{}_{}", round + 1, i + 1),
+                    from: loc_in(round, from),
+                    to: loc_in(round + 1, to),
+                    guard: Guard::always(),
+                    update: Vec::new(),
+                    round_switch: true,
+                });
+            }
+        }
+    }
+    debug_assert!(out.validate().is_ok());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::TaBuilder;
+    use crate::expr::ParamExpr;
+
+    fn one_round() -> ThresholdAutomaton {
+        let mut b = TaBuilder::new("r");
+        let n = b.param("n");
+        let f = b.param("f");
+        let x = b.shared("x");
+        let v0 = b.initial_location("V0");
+        let v1 = b.initial_location("V1");
+        let d0 = b.final_location("D0");
+        let d1 = b.final_location("D1");
+        b.size_n_minus_f(n, f);
+        b.rule(
+            "r1",
+            v0,
+            d0,
+            Guard::atom(AtomicGuard::ge(VarExpr::var(x), ParamExpr::constant(0))),
+        )
+        .inc(x, 1);
+        b.rule("r2", v1, d1, Guard::always()).inc(x, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn two_round_unrolling_shapes() {
+        let ta = one_round();
+        let d0 = ta.location_by_name("D0").unwrap();
+        let d1 = ta.location_by_name("D1").unwrap();
+        let v0 = ta.location_by_name("V0").unwrap();
+        let v1 = ta.location_by_name("V1").unwrap();
+        let two = unroll(&ta, 2, &[(d0, v0), (d1, v1)], "superround");
+        assert_eq!(two.locations.len(), 8);
+        assert_eq!(two.variables.len(), 2);
+        assert_eq!(two.variables[1], "x'");
+        // 2 rules per round + 2 switches.
+        assert_eq!(two.rules.len(), 6);
+        assert_eq!(two.rules.iter().filter(|r| r.round_switch).count(), 2);
+        // Initial: only round 1's V0, V1. Final: only round 2's D0', D1'.
+        assert_eq!(two.initial_locations().len(), 2);
+        assert!(two.location_by_name("V0").is_some());
+        assert!(two.location_by_name("V0'").is_some());
+        let finals = two.final_locations();
+        assert_eq!(finals.len(), 2);
+        assert!(finals
+            .iter()
+            .all(|&l| two.location_name(l).ends_with('\'')));
+    }
+
+    #[test]
+    fn guards_are_retargeted_to_round_variables() {
+        let ta = one_round();
+        let d0 = ta.location_by_name("D0").unwrap();
+        let v0 = ta.location_by_name("V0").unwrap();
+        let two = unroll(&ta, 2, &[(d0, v0)], "sr");
+        let r1p = two.rule_by_name("r1'").unwrap();
+        let guard = &two.rules[r1p.0].guard;
+        let x_prime = two.variable_by_name("x'").unwrap();
+        assert_eq!(guard.atoms()[0].lhs.coeff(x_prime), 1);
+    }
+
+    #[test]
+    fn unrolled_automaton_is_still_a_dag() {
+        let ta = one_round();
+        let d0 = ta.location_by_name("D0").unwrap();
+        let d1 = ta.location_by_name("D1").unwrap();
+        let v0 = ta.location_by_name("V0").unwrap();
+        let v1 = ta.location_by_name("V1").unwrap();
+        let three = unroll(&ta, 3, &[(d0, v0), (d1, v1)], "three");
+        assert!(three.is_dag());
+        assert!(three.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "final location")]
+    fn switch_from_non_final_panics() {
+        let ta = one_round();
+        let v0 = ta.location_by_name("V0").unwrap();
+        let _ = unroll(&ta, 2, &[(v0, v0)], "bad");
+    }
+}

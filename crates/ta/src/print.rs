@@ -1,0 +1,170 @@
+//! Pretty-printing threshold automata back to the text format of
+//! [`parse_ta`](crate::parse_ta).
+//!
+//! `parse_ta(&to_ta_source(&ta))` reproduces the automaton up to
+//! declaration order of locations (the printer groups initial /
+//! intermediate / final declarations), which the round-trip tests rely
+//! on.
+
+use std::fmt::Write as _;
+
+use crate::automaton::ThresholdAutomaton;
+use crate::expr::{GuardCmp, ParamCmp};
+
+/// Renders the automaton in the `.ta` text format.
+pub fn to_ta_source(ta: &ThresholdAutomaton) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "automaton {} {{", sanitize(&ta.name));
+    let _ = writeln!(out, "    params {};", ta.params.join(", "));
+    if !ta.variables.is_empty() {
+        let _ = writeln!(out, "    shared {};", ta.variables.join(", "));
+    }
+    if !ta.resilience.is_empty() {
+        let clauses: Vec<String> = ta
+            .resilience
+            .iter()
+            .map(|c| {
+                format!(
+                    "{} {} {}",
+                    c.lhs.display(&ta.params),
+                    cmp_str(c.cmp),
+                    c.rhs.display(&ta.params)
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "    resilience {};", clauses.join(", "));
+    }
+    let _ = writeln!(out, "    processes {};", ta.size_expr.display(&ta.params));
+    let _ = writeln!(out);
+
+    let group = |pred: &dyn Fn(&crate::Location) -> bool| -> Vec<String> {
+        ta.locations
+            .iter()
+            .filter(|l| pred(l))
+            .map(|l| l.name.clone())
+            .collect()
+    };
+    let initial = group(&|l| l.initial);
+    let middle = group(&|l| !l.initial && !l.is_final);
+    let finals = group(&|l| !l.initial && l.is_final);
+    if !initial.is_empty() {
+        let _ = writeln!(out, "    initial {};", initial.join(", "));
+    }
+    if !middle.is_empty() {
+        let _ = writeln!(out, "    locations {};", middle.join(", "));
+    }
+    if !finals.is_empty() {
+        let _ = writeln!(out, "    final {};", finals.join(", "));
+    }
+    let _ = writeln!(out);
+
+    let mut self_loops = Vec::new();
+    for r in &ta.rules {
+        if r.is_self_loop() && r.guard.is_true() && r.update.is_empty() {
+            self_loops.push(ta.locations[r.from.0].name.clone());
+            continue;
+        }
+        let guard = if r.guard.is_true() {
+            "true".to_owned()
+        } else {
+            r.guard
+                .atoms()
+                .iter()
+                .map(|a| {
+                    format!(
+                        "{} {} {}",
+                        a.lhs.display(&ta.variables),
+                        match a.cmp {
+                            GuardCmp::Ge => ">=",
+                            GuardCmp::Lt => "<",
+                        },
+                        a.rhs.display(&ta.params)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" && ")
+        };
+        let keyword = if r.round_switch { "switch" } else { "rule" };
+        let _ = write!(
+            out,
+            "    {} {}: {} -> {} when {}",
+            keyword, r.name, ta.locations[r.from.0].name, ta.locations[r.to.0].name, guard
+        );
+        if !r.update.is_empty() {
+            let updates: Vec<String> = r
+                .update
+                .iter()
+                .map(|&(v, k)| format!("{} += {}", ta.variables[v.0], k))
+                .collect();
+            let _ = write!(out, " do {}", updates.join(", "));
+        }
+        let _ = writeln!(out, ";");
+    }
+    if !self_loops.is_empty() {
+        let _ = writeln!(out, "    selfloop {};", self_loops.join(", "));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn cmp_str(c: ParamCmp) -> &'static str {
+    match c {
+        ParamCmp::Gt => ">",
+        ParamCmp::Ge => ">=",
+        ParamCmp::Eq => "==",
+        ParamCmp::Le => "<=",
+        ParamCmp::Lt => "<",
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ta;
+
+    #[test]
+    fn roundtrip_simple_automaton() {
+        let src = r#"
+            automaton demo {
+                params n, t, f;
+                shared b0, b1;
+                resilience n > 3t, t >= f, f >= 0;
+                processes n - f;
+                initial V0, V1;
+                locations B0;
+                final C0;
+                rule r1: V0 -> B0 when true do b0 += 1;
+                rule r2: B0 -> C0 when b0 >= 2t + 1 - f && b1 >= 1;
+                selfloop C0;
+            }
+        "#;
+        let ta = parse_ta(src).unwrap();
+        let printed = to_ta_source(&ta);
+        let reparsed = parse_ta(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        assert_eq!(ta, reparsed, "round-trip must be exact:\n{printed}");
+    }
+
+    #[test]
+    fn printer_handles_negative_threshold_terms() {
+        let src = r#"
+            automaton neg {
+                params n, t, f;
+                shared x;
+                processes n - f;
+                initial V;
+                final C;
+                rule r: V -> C when x >= n - t - f;
+            }
+        "#;
+        let ta = parse_ta(src).unwrap();
+        let printed = to_ta_source(&ta);
+        assert!(printed.contains("x >= n - t - f"), "{printed}");
+        assert_eq!(parse_ta(&printed).unwrap(), ta);
+    }
+}

@@ -1,0 +1,38 @@
+//! The paper's Lemma 7 (Appendix B), executed: without the fairness
+//! assumption, a Byzantine process plus a crafted delivery order keep
+//! DBFT from ever terminating — `n = 4`, `t = f = 1`, proposals
+//! `0, 0, 1`.
+//!
+//! ```text
+//! cargo run --release --example non_termination
+//! ```
+
+use holistic_verification::sim::{monitor, run_lemma7};
+
+fn main() {
+    let superrounds = 25;
+    println!("driving the Lemma 7 adversary for {superrounds} superrounds…");
+    let sim = run_lemma7(superrounds);
+
+    assert!(
+        sim.decisions().iter().all(Option::is_none),
+        "nobody may decide under the adversarial schedule"
+    );
+    println!(
+        "after {} deliveries and {} rounds: no correct process has decided.",
+        sim.deliveries(),
+        superrounds * 2
+    );
+    for p in sim.correct_ids() {
+        let proc = sim.process(p);
+        println!("  {p}: round {}, estimate {}", proc.round(), proc.estimate());
+    }
+
+    // Safety is never violated — the adversary can only stall.
+    monitor::check_safety(&sim, &[0, 0, 1]).expect("safety holds even here");
+    // And indeed no round was (r mod 2)-good: the schedule breaks
+    // exactly the fairness assumption of Definition 3.
+    assert_eq!(monitor::find_good_round(&sim), None);
+    println!("no (r mod 2)-good round occurred: Definition 3's fairness was violated.");
+    println!("this is why Theorem 6 needs the fair bv-broadcast assumption.");
+}

@@ -1,0 +1,46 @@
+//! Regenerates the paper's figures and descriptive tables from the
+//! model definitions:
+//!
+//! ```text
+//! cargo run --example render_automata -- fig2    # bv-broadcast TA (DOT)
+//! cargo run --example render_automata -- fig3    # naive consensus TA (DOT)
+//! cargo run --example render_automata -- fig4    # simplified consensus TA (DOT)
+//! cargo run --example render_automata -- table1  # location semantics (Table 1)
+//! cargo run --example render_automata -- table3  # rules of the naive TA (Table 3)
+//! ```
+//!
+//! Pipe the `figN` output through `dot -Tpdf` to get the diagrams.
+
+use holistic_verification::models::{
+    BvBroadcastModel, NaiveConsensusModel, SimplifiedConsensusModel,
+};
+use holistic_verification::ta::to_dot;
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "fig2".to_owned());
+    match what.as_str() {
+        "fig2" => print!("{}", to_dot(&BvBroadcastModel::new().ta)),
+        "fig3" => print!("{}", to_dot(&NaiveConsensusModel::new().ta)),
+        "fig4" => print!("{}", to_dot(&SimplifiedConsensusModel::new().ta)),
+        "table1" => {
+            let model = BvBroadcastModel::new();
+            println!("Table 1 — the locations of correct processes (bv-broadcast)");
+            println!("{:<10} {:<18} {:<18}", "location", "values broadcast", "values delivered");
+            for row in model.location_table() {
+                println!("{:<10} {:<18} {:<18}", row.location, row.broadcast, row.delivered);
+            }
+        }
+        "table3" => {
+            let model = NaiveConsensusModel::new();
+            println!("Table 3 — the rules of the naive consensus automaton (Fig. 3)");
+            println!("{:<8} {:<28} {}", "rule", "guard", "update");
+            for (name, guard, update) in model.rule_table() {
+                println!("{name:<8} {guard:<28} {update}");
+            }
+        }
+        other => {
+            eprintln!("unknown target {other:?}; use fig2|fig3|fig4|table1|table3");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The multi-round machinery end-to-end: build a round automaton, unroll
+//! it with round switches (the paper's Appendix A reduction works on the
+//! unrolled superround with arbitrary initial distributions — exactly
+//! what the checker quantifies over), and verify cross-round properties.
+
+use holistic_verification::checker::Checker;
+use holistic_verification::ltl::{Justice, Ltl, Prop};
+use holistic_verification::ta::{
+    unroll, AtomicGuard, Guard, ParamExpr, TaBuilder, ThresholdAutomaton, VarExpr,
+};
+
+/// A one-round echo: everyone broadcasts, waits for n−f echoes, and
+/// exits with its value (x-senders to X, y-senders to Y).
+fn round() -> ThresholdAutomaton {
+    let mut b = TaBuilder::new("echo_round");
+    let n = b.param("n");
+    let t = b.param("t");
+    let f = b.param("f");
+    b.resilience_gt(n, t, 3);
+    b.resilience_ge(t, f);
+    b.resilience_ge_const(f, 0);
+    b.size_n_minus_f(n, f);
+    let e = b.shared("e");
+    let v0 = b.initial_location("V0");
+    let v1 = b.initial_location("V1");
+    let w0 = b.location("W0");
+    let w1 = b.location("W1");
+    let x = b.final_location("X");
+    let y = b.final_location("Y");
+    let mut quorum = ParamExpr::param(n);
+    quorum.add_term(f, -1);
+    b.rule("send0", v0, w0, Guard::always()).inc(e, 1);
+    b.rule("send1", v1, w1, Guard::always()).inc(e, 1);
+    b.rule(
+        "out0",
+        w0,
+        x,
+        Guard::atom(AtomicGuard::ge(VarExpr::var(e), quorum.clone())),
+    );
+    b.rule(
+        "out1",
+        w1,
+        y,
+        Guard::atom(AtomicGuard::ge(VarExpr::var(e), quorum)),
+    );
+    b.build().unwrap()
+}
+
+#[test]
+fn unrolled_superround_preserves_partition() {
+    let ta = round();
+    let x = ta.location_by_name("X").unwrap();
+    let y = ta.location_by_name("Y").unwrap();
+    let v0 = ta.location_by_name("V0").unwrap();
+    let v1 = ta.location_by_name("V1").unwrap();
+    // Value carries over: X -> V0', Y -> V1'.
+    let two = unroll(&ta, 2, &[(x, v0), (y, v1)], "echo_superround");
+    assert!(two.validate().is_ok());
+    assert!(two.is_dag());
+    assert_eq!(two.locations.len(), 12);
+    assert_eq!(two.variables.len(), 2); // e and e'
+
+    // Cross-round safety: if nobody starts with value 1, nobody ends
+    // round 2 in Y' (validity across the round switch).
+    let v1_r1 = two.location_by_name("V1").unwrap();
+    let y_r2 = two.location_by_name("Y'").unwrap();
+    let y_r1 = two.location_by_name("Y").unwrap();
+    let spec = Ltl::implies(
+        Ltl::always(Ltl::state(Prop::all_empty([v1_r1, y_r1]))),
+        Ltl::always(Ltl::state(Prop::loc_empty(y_r2))),
+    );
+    let checker = Checker::new();
+    let report = checker
+        .check_ltl(&two, &spec, &Justice::from_rules(&two))
+        .unwrap();
+    assert!(report.verdict().is_verified(), "{:?}", report.verdict());
+}
+
+#[test]
+fn unrolled_superround_terminates() {
+    let ta = round();
+    let x = ta.location_by_name("X").unwrap();
+    let y = ta.location_by_name("Y").unwrap();
+    let v0 = ta.location_by_name("V0").unwrap();
+    let v1 = ta.location_by_name("V1").unwrap();
+    let two = unroll(&ta, 2, &[(x, v0), (y, v1)], "echo_superround");
+
+    // Liveness through the round switch: eventually everyone reaches a
+    // round-2 final location.
+    let finals = two.final_locations();
+    let pending: Vec<_> = (0..two.locations.len())
+        .map(holistic_verification::ta::LocationId)
+        .filter(|l| !finals.contains(l))
+        .collect();
+    let spec = Ltl::eventually(Ltl::state(Prop::all_empty(pending)));
+    let checker = Checker::new();
+    let report = checker
+        .check_ltl(&two, &spec, &Justice::from_rules(&two))
+        .unwrap();
+    assert!(report.verdict().is_verified(), "{:?}", report.verdict());
+}
+
+#[test]
+fn three_round_unrolling_checks_too() {
+    let ta = round();
+    let x = ta.location_by_name("X").unwrap();
+    let y = ta.location_by_name("Y").unwrap();
+    let v0 = ta.location_by_name("V0").unwrap();
+    let v1 = ta.location_by_name("V1").unwrap();
+    let three = unroll(&ta, 3, &[(x, v0), (y, v1)], "echo_three");
+    assert_eq!(three.locations.len(), 18);
+    // Validity across three rounds.
+    let spec = Ltl::implies(
+        Ltl::always(Ltl::state(Prop::all_empty([
+            three.location_by_name("V1").unwrap(),
+            three.location_by_name("Y").unwrap(),
+            three.location_by_name("Y'").unwrap(),
+        ]))),
+        Ltl::always(Ltl::state(Prop::loc_empty(
+            three.location_by_name("Y''").unwrap(),
+        ))),
+    );
+    let checker = Checker::new();
+    let report = checker
+        .check_ltl(&three, &spec, &Justice::from_rules(&three))
+        .unwrap();
+    assert!(report.verdict().is_verified(), "{:?}", report.verdict());
+}

@@ -1,0 +1,88 @@
+//! The two schema-generation strategies must agree: the enumerative
+//! schedule DFS (per-schedule queries, Table 2's schema counts) and the
+//! monolithic symbolic-context query (Para²-style acceleration).
+
+use holistic_verification::checker::{Checker, CheckerConfig, Strategy, Verdict};
+use holistic_verification::models::{BvBroadcastModel, ReliableBroadcastModel};
+
+fn checkers() -> (Checker, Checker) {
+    (
+        Checker::with_config(CheckerConfig {
+            strategy: Strategy::Enumerate,
+            ..CheckerConfig::default()
+        }),
+        Checker::with_config(CheckerConfig {
+            strategy: Strategy::Monolithic,
+            ..CheckerConfig::default()
+        }),
+    )
+}
+
+fn agree(v1: &Verdict, v2: &Verdict) -> bool {
+    matches!(
+        (v1, v2),
+        (Verdict::Verified, Verdict::Verified) | (Verdict::Violated(_), Verdict::Violated(_))
+    )
+}
+
+#[test]
+fn strategies_agree_on_reliable_broadcast_safety() {
+    let m = ReliableBroadcastModel::new();
+    let (enumerate, monolithic) = checkers();
+    let justice = m.justice();
+    let spec = m.unforgeability();
+    let r1 = enumerate.check_ltl(&m.ta, &spec, &justice).unwrap();
+    let r2 = monolithic.check_ltl(&m.ta, &spec, &justice).unwrap();
+    assert!(
+        agree(&r1.verdict(), &r2.verdict()),
+        "enumerate {:?} vs monolithic {:?}",
+        r1.verdict(),
+        r2.verdict()
+    );
+    assert!(r1.verdict().is_verified());
+    // The monolithic strategy reports a single schema.
+    assert_eq!(r2.total_schemas(), 1);
+}
+
+#[test]
+fn strategies_agree_on_bv_justification() {
+    let m = BvBroadcastModel::new();
+    let (enumerate, monolithic) = checkers();
+    let justice = m.justice();
+    for v in [0u8, 1] {
+        let spec = m.justification(v);
+        let r1 = enumerate.check_ltl(&m.ta, &spec, &justice).unwrap();
+        let r2 = monolithic.check_ltl(&m.ta, &spec, &justice).unwrap();
+        assert!(r1.verdict().is_verified());
+        assert!(
+            agree(&r1.verdict(), &r2.verdict()),
+            "v={v}: enumerate {:?} vs monolithic {:?}",
+            r1.verdict(),
+            r2.verdict()
+        );
+    }
+}
+
+#[test]
+fn strategies_agree_on_a_violation() {
+    // A deliberately false property: the bv-broadcast *can* deliver 1
+    // when someone proposes it, so □(κ[C1]=0) with both inputs allowed
+    // is violated.
+    let m = BvBroadcastModel::new();
+    let c1 = m.ta.location_by_name("C1").unwrap();
+    use holistic_verification::ltl::{Ltl, Prop};
+    let spec = Ltl::always(Ltl::state(Prop::loc_empty(c1)));
+    let (enumerate, monolithic) = checkers();
+    let justice = m.justice();
+    let r1 = enumerate.check_ltl(&m.ta, &spec, &justice).unwrap();
+    let r2 = monolithic.check_ltl(&m.ta, &spec, &justice).unwrap();
+    for (name, r) in [("enumerate", &r1), ("monolithic", &r2)] {
+        let v = r.verdict();
+        let ce = v.counterexample().unwrap_or_else(|| panic!("{name} must violate"));
+        // Both counterexamples reach C1 (the replay validated them).
+        assert!(
+            ce.boundaries.iter().any(|c| c.counters[c1.0] > 0),
+            "{name}: counterexample must visit C1"
+        );
+    }
+}
