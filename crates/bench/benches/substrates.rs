@@ -22,10 +22,8 @@ fn bench_lia(c: &mut Criterion) {
                     .map(|i| solver.new_nonneg_var(format!("x{i}")))
                     .collect();
                 for w in vars.windows(2) {
-                    solver.assert_constraint(Constraint::le(
-                        LinExpr::var(w[0]),
-                        LinExpr::var(w[1]),
-                    ));
+                    solver
+                        .assert_constraint(Constraint::le(LinExpr::var(w[0]), LinExpr::var(w[1])));
                 }
                 solver.assert_constraint(Constraint::le(
                     LinExpr::var(vars[49]),
@@ -87,5 +85,10 @@ fn bench_guard_analysis(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lia, bench_counter_system, bench_guard_analysis);
+criterion_group!(
+    benches,
+    bench_lia,
+    bench_counter_system,
+    bench_guard_analysis
+);
 criterion_main!(benches);

@@ -63,7 +63,9 @@ fn bench_counterexample(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("Inv1_0_weak_resilience", |b| {
         b.iter(|| {
-            let report = checker.check_ltl(&model.ta, &model.inv1(0), &justice).unwrap();
+            let report = checker
+                .check_ltl(&model.ta, &model.inv1(0), &justice)
+                .unwrap();
             assert!(report.verdict().is_violated());
         })
     });
@@ -84,7 +86,9 @@ fn bench_naive_explosion(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("Inv2_0_cap15", |b| {
         b.iter(|| {
-            let report = checker.check_ltl(&model.ta, &model.inv2(0), &justice).unwrap();
+            let report = checker
+                .check_ltl(&model.ta, &model.inv2(0), &justice)
+                .unwrap();
             report.total_schemas()
         })
     });

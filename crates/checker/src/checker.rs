@@ -47,6 +47,16 @@ pub struct CheckerConfig {
     /// The paper's naive consensus automaton exceeds any practical cap
     /// (its Table 2 row reads ">100 000 schemas, timeout").
     pub max_schemas: usize,
+    /// Wall-clock budget for one `check_ltl`/`check_query` call,
+    /// complementing `max_schemas` (which bounds *work*, not *time* —
+    /// schema cost varies by orders of magnitude across automata). When
+    /// the budget runs out the exploration stops at the next schema
+    /// boundary and the verdict degrades gracefully to
+    /// [`Verdict::Unknown`]; already-found violations are still
+    /// reported. `None` (the default) means unbounded. The naive
+    /// consensus automaton of the paper's Table 2 is the intended
+    /// customer: its ">24h timeout" row can be demonstrated in seconds.
+    pub time_budget: Option<Duration>,
     /// Budgets for each SMT query.
     pub solver: SolverConfig,
     /// Strategy selection.
@@ -57,6 +67,7 @@ impl Default for CheckerConfig {
     fn default() -> CheckerConfig {
         CheckerConfig {
             max_schemas: 100_000,
+            time_budget: None,
             solver: SolverConfig::default(),
             strategy: Strategy::Auto,
         }
@@ -107,6 +118,9 @@ pub struct QueryStats {
     pub duration: Duration,
     /// Whether the DFS hit the schema cap.
     pub capped: bool,
+    /// Whether the wall-clock budget ([`CheckerConfig::time_budget`])
+    /// ran out before exploration finished.
+    pub timed_out: bool,
     /// The strategy actually used.
     pub strategy: Strategy,
 }
@@ -157,7 +171,11 @@ impl CheckReport {
         if self.queries.is_empty() {
             return 0.0;
         }
-        self.queries.iter().map(|q| q.stats.avg_segments).sum::<f64>() / self.queries.len() as f64
+        self.queries
+            .iter()
+            .map(|q| q.stats.avg_segments)
+            .sum::<f64>()
+            / self.queries.len() as f64
     }
 }
 
@@ -285,6 +303,9 @@ impl Checker {
         justice: &Justice,
     ) -> Result<CheckReport, CheckError> {
         let start = Instant::now();
+        // One wall-clock budget for the whole call, shared by all
+        // conjunct queries.
+        let deadline = self.config.time_budget.map(|b| start + b);
         ta.validate()?;
         if !ta.is_dag() {
             return Err(CheckError::NotDag);
@@ -292,7 +313,7 @@ impl Checker {
         let queries = classify(ta, formula)?;
         let mut reports = Vec::with_capacity(queries.len());
         for q in &queries {
-            reports.push(self.run_query(ta, q, justice)?);
+            reports.push(self.run_query(ta, q, justice, deadline)?);
         }
         Ok(CheckReport {
             queries: reports,
@@ -315,7 +336,8 @@ impl Checker {
         if !ta.is_dag() {
             return Err(CheckError::NotDag);
         }
-        self.run_query(ta, query, justice)
+        let deadline = self.config.time_budget.map(|b| Instant::now() + b);
+        self.run_query(ta, query, justice, deadline)
     }
 
     fn run_query(
@@ -323,6 +345,7 @@ impl Checker {
         ta: &ThresholdAutomaton,
         query: &Query,
         justice: &Justice,
+        deadline: Option<Instant>,
     ) -> Result<QueryReport, CheckError> {
         let start = Instant::now();
         let plan = QueryPlan::new(ta, query, justice);
@@ -335,8 +358,8 @@ impl Checker {
         // schedule lattice for no pruning gain.)
         let info = GuardInfo::analyse(ta)?;
         match self.config.strategy {
-            Strategy::Monolithic => self.run_monolithic(ta, &info, &plan, start),
-            Strategy::Enumerate | Strategy::Auto => self.run_dfs(ta, &info, &plan, start),
+            Strategy::Monolithic => self.run_monolithic(ta, &info, &plan, start, deadline),
+            Strategy::Enumerate | Strategy::Auto => self.run_dfs(ta, &info, &plan, start, deadline),
         }
     }
 
@@ -350,6 +373,7 @@ impl Checker {
         info: &GuardInfo,
         plan: &QueryPlan,
         start: Instant,
+        deadline: Option<Instant>,
     ) -> Result<QueryReport, CheckError> {
         let mut enc = Encoding::new(ta, info, &plan.globally_empty, self.config.solver);
         enc.assert_prop_at(&plan.initially, 0);
@@ -367,9 +391,11 @@ impl Checker {
             plan,
             copies,
             full,
+            deadline,
             schemas: 0,
             total_segments: 0,
             capped: false,
+            timed_out: false,
             violation: None,
             unknown: None,
             frontier: Vec::new(),
@@ -395,7 +421,7 @@ impl Checker {
             enc.push_segments(SegmentKind::Fixed(c0), copies);
             dfs.recurse(&mut enc, c0, 0)?;
             enc.pop_segments();
-            if dfs.violation.is_some() || dfs.capped {
+            if dfs.violation.is_some() || dfs.capped || dfs.timed_out {
                 break;
             }
         }
@@ -403,7 +429,7 @@ impl Checker {
         // Drain the parallel frontier: subtrees cut off at depth
         // PARALLEL_DEPTH are explored by worker threads, each with its
         // own encoding.
-        if dfs.violation.is_none() && !dfs.capped && !dfs.frontier.is_empty() {
+        if dfs.violation.is_none() && !dfs.capped && !dfs.timed_out && !dfs.frontier.is_empty() {
             let frontier = std::mem::take(&mut dfs.frontier);
             let threads = std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -428,15 +454,21 @@ impl Checker {
                             plan: plan_ref,
                             copies,
                             full,
+                            deadline,
                             schemas: 0,
                             total_segments: 0,
                             capped: false,
+                            timed_out: false,
                             violation: None,
                             unknown: None,
                             frontier: Vec::new(),
                         };
-                        let mut enc =
-                            Encoding::new(ta, info, &plan_ref.globally_empty, checker.config.solver);
+                        let mut enc = Encoding::new(
+                            ta,
+                            info,
+                            &plan_ref.globally_empty,
+                            checker.config.solver,
+                        );
                         enc.assert_prop_at(&plan_ref.initially, 0);
                         loop {
                             let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -455,7 +487,11 @@ impl Checker {
                             for _ in prefix {
                                 enc.pop_segments();
                             }
-                            if r.is_err() || worker.violation.is_some() || worker.capped {
+                            if r.is_err()
+                                || worker.violation.is_some()
+                                || worker.capped
+                                || worker.timed_out
+                            {
                                 stop_ref.store(true, std::sync::atomic::Ordering::Relaxed);
                                 if let Err(e) = r {
                                     worker.unknown.get_or_insert(format!("worker error: {e}"));
@@ -471,6 +507,7 @@ impl Checker {
                 dfs.schemas += w.schemas;
                 dfs.total_segments += w.total_segments;
                 dfs.capped |= w.capped;
+                dfs.timed_out |= w.timed_out;
                 if dfs.violation.is_none() {
                     dfs.violation = w.violation;
                 }
@@ -489,10 +526,19 @@ impl Checker {
             },
             duration: start.elapsed(),
             capped: dfs.capped,
+            timed_out: dfs.timed_out,
             strategy: Strategy::Enumerate,
         };
         let verdict = if let Some(ce) = dfs.violation {
+            // A violation found before the budget ran out is still a
+            // violation: time pressure never weakens a verdict we have.
             Verdict::Violated(Box::new(ce))
+        } else if dfs.timed_out {
+            Verdict::Unknown(format!(
+                "time budget of {:?} exhausted after {} schemas",
+                self.config.time_budget.unwrap_or_default(),
+                dfs.schemas
+            ))
         } else if dfs.capped {
             Verdict::Unknown(format!(
                 "schedule DFS exceeded the cap of {} schemas",
@@ -512,11 +558,36 @@ impl Checker {
         info: &GuardInfo,
         plan: &QueryPlan,
         start: Instant,
+        deadline: Option<Instant>,
     ) -> Result<QueryReport, CheckError> {
+        // The monolithic strategy is a single SMT call; the wall-clock
+        // budget is only consulted at the query boundary (the call
+        // itself is bounded by the solver's own budgets).
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Ok(QueryReport {
+                verdict: Verdict::Unknown(format!(
+                    "time budget of {:?} exhausted before the monolithic query",
+                    self.config.time_budget.unwrap_or_default()
+                )),
+                stats: QueryStats {
+                    schemas: 0,
+                    avg_segments: 0.0,
+                    duration: start.elapsed(),
+                    capped: false,
+                    timed_out: true,
+                    strategy: Strategy::Monolithic,
+                },
+            });
+        }
         let num_segments = info.len() + 1 + plan.witnesses.len();
         let segments = vec![SegmentKind::Free; num_segments];
-        let mut enc =
-            Encoding::with_segments(ta, info, &segments, &plan.globally_empty, self.config.solver);
+        let mut enc = Encoding::with_segments(
+            ta,
+            info,
+            &segments,
+            &plan.globally_empty,
+            self.config.solver,
+        );
         enc.assert_prop_at(&plan.initially, 0);
         plan.assert_query(&mut enc, info);
         let result = enc.check();
@@ -525,6 +596,7 @@ impl Checker {
             avg_segments: num_segments as f64,
             duration: start.elapsed(),
             capped: false,
+            timed_out: false,
             strategy: Strategy::Monolithic,
         };
         let verdict = match result {
@@ -546,9 +618,11 @@ struct Dfs<'a> {
     plan: &'a QueryPlan,
     copies: usize,
     full: u64,
+    deadline: Option<Instant>,
     schemas: usize,
     total_segments: usize,
     capped: bool,
+    timed_out: bool,
     violation: Option<Counterexample>,
     unknown: Option<String>,
     /// Subtree roots deferred to the worker pool (context prefixes,
@@ -571,6 +645,14 @@ impl Dfs<'_> {
     ) -> Result<(), CheckError> {
         if self.schemas >= self.checker.config.max_schemas {
             self.capped = true;
+            return Ok(());
+        }
+        // The budget is checked once per schema: between checks the
+        // longest uninterruptible stretch is a single SMT query, itself
+        // bounded by the solver's budgets — so exhaustion degrades to
+        // `Unknown` promptly instead of hanging.
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.timed_out = true;
             return Ok(());
         }
         // Feasibility pruning: if the base constraints of the prefix are
@@ -626,7 +708,7 @@ impl Dfs<'_> {
                     enc.push_segments(SegmentKind::Fixed(next), self.copies);
                     self.recurse(enc, next, depth.saturating_add(1))?;
                     enc.pop_segments();
-                    if self.violation.is_some() || self.capped {
+                    if self.violation.is_some() || self.capped || self.timed_out {
                         return Ok(());
                     }
                 }

@@ -62,7 +62,10 @@ impl Counterexample {
     /// [`ReplayError`] if any firing is illegal — which means the SMT
     /// encoding and the semantics disagree (an internal bug, surfaced
     /// loudly instead of silently reporting a bogus trace).
-    pub fn replay(ta: &ThresholdAutomaton, run: &SymbolicRun) -> Result<Counterexample, ReplayError> {
+    pub fn replay(
+        ta: &ThresholdAutomaton,
+        run: &SymbolicRun,
+    ) -> Result<Counterexample, ReplayError> {
         let sys = CounterSystem::new(ta, &run.params).map_err(|e| ReplayError {
             message: format!("bad parameters {:?}: {e}", run.params),
         })?;
@@ -116,7 +119,9 @@ impl Counterexample {
 
     /// The final configuration.
     pub fn final_config(&self) -> &Config {
-        self.boundaries.last().expect("at least the initial boundary")
+        self.boundaries
+            .last()
+            .expect("at least the initial boundary")
     }
 
     /// Renders the counterexample with the automaton's names.
@@ -155,10 +160,7 @@ impl fmt::Display for DisplayCe<'_> {
             writeln!(
                 f,
                 "  {} × {}  ({} -> {})",
-                rule.name,
-                step.times,
-                ta.locations[rule.from.0].name,
-                ta.locations[rule.to.0].name
+                rule.name, step.times, ta.locations[rule.from.0].name, ta.locations[rule.to.0].name
             )?;
         }
         let last = self.ce.final_config();

@@ -403,9 +403,7 @@ impl<'a> Encoding<'a> {
                 LinExpr::constant(1),
             )),
             Prop::Atom(StateAtom::Guard(g)) => Formula::atom(self.guard_at(g, b)),
-            Prop::Atom(StateAtom::NotGuard(g)) => {
-                Formula::not(Formula::atom(self.guard_at(g, b)))
-            }
+            Prop::Atom(StateAtom::NotGuard(g)) => Formula::not(Formula::atom(self.guard_at(g, b))),
             Prop::And(ps) => Formula::and(ps.iter().map(|p| self.prop_at(p, b))),
             Prop::Or(ps) => Formula::or(ps.iter().map(|p| self.prop_at(p, b))),
         }
@@ -435,11 +433,7 @@ impl<'a> Encoding<'a> {
 
     /// Extracts the witness run from a model.
     pub fn extract(&self, model: &Model) -> SymbolicRun {
-        let params: Vec<i64> = self
-            .params
-            .iter()
-            .map(|&v| model.value(v) as i64)
-            .collect();
+        let params: Vec<i64> = self.params.iter().map(|&v| model.value(v) as i64).collect();
         let init: Vec<i64> = self
             .init
             .iter()
@@ -526,8 +520,7 @@ mod tests {
         let info = GuardInfo::analyse(&ta).unwrap();
         // Schedule: ∅ then {x >= n-f}.
         let segments = [SegmentKind::Fixed(0), SegmentKind::Fixed(1)];
-        let mut enc =
-            Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
+        let mut enc = Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
         let d = ta.location_by_name("D").unwrap();
         enc.assert_prop_at(&Prop::loc_nonempty(d), 2);
         let r = enc.check();
@@ -549,8 +542,7 @@ mod tests {
         let info = GuardInfo::analyse(&ta).unwrap();
         // Only the empty context: r2 never enabled.
         let segments = [SegmentKind::Fixed(0)];
-        let mut enc =
-            Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
+        let mut enc = Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
         let d = ta.location_by_name("D").unwrap();
         enc.assert_prop_at(&Prop::loc_nonempty(d), 1);
         assert!(enc.check().is_unsat());
@@ -590,8 +582,7 @@ mod tests {
         let ta = chain();
         let info = GuardInfo::analyse(&ta).unwrap();
         let segments = [SegmentKind::Free, SegmentKind::Free];
-        let mut enc =
-            Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
+        let mut enc = Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
         let d = ta.location_by_name("D").unwrap();
         enc.assert_prop_at(&Prop::loc_nonempty(d), 2);
         assert!(enc.check().is_sat());
@@ -602,8 +593,7 @@ mod tests {
         let ta = chain();
         let info = GuardInfo::analyse(&ta).unwrap();
         let segments = [SegmentKind::Free];
-        let mut enc =
-            Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
+        let mut enc = Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
         // A single segment cannot both raise x and use the raised value:
         // the guard is evaluated at the segment start where x = 0 < n-f.
         let d = ta.location_by_name("D").unwrap();
@@ -618,8 +608,7 @@ mod tests {
         let a = ta.location_by_name("A").unwrap();
         let d = ta.location_by_name("D").unwrap();
         let segments = [SegmentKind::Fixed(0), SegmentKind::Fixed(1)];
-        let mut enc =
-            Encoding::with_segments(&ta, &info, &segments, &[a], SolverConfig::default());
+        let mut enc = Encoding::with_segments(&ta, &info, &segments, &[a], SolverConfig::default());
         enc.assert_prop_at(&Prop::loc_nonempty(d), 2);
         assert!(enc.check().is_unsat(), "route through A is banned");
     }
@@ -629,8 +618,7 @@ mod tests {
         let ta = chain();
         let info = GuardInfo::analyse(&ta).unwrap();
         let segments = [SegmentKind::Fixed(0), SegmentKind::Fixed(1)];
-        let mut enc =
-            Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
+        let mut enc = Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
         let a = ta.location_by_name("A").unwrap();
         let d = ta.location_by_name("D").unwrap();
         // More processes in A ∪ D than exist: impossible.
@@ -650,8 +638,7 @@ mod tests {
         let ta = chain();
         let info = GuardInfo::analyse(&ta).unwrap();
         let segments = [SegmentKind::Fixed(0), SegmentKind::Fixed(1)];
-        let mut enc =
-            Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
+        let mut enc = Encoding::with_segments(&ta, &info, &segments, &[], SolverConfig::default());
         let a = ta.location_by_name("A").unwrap();
         enc.assert_prop_somewhere(&Prop::loc_nonempty(a));
         assert!(enc.check().is_sat());

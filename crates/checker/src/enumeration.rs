@@ -241,9 +241,9 @@ mod tests {
     #[test]
     fn simultaneous_unlock_steps_are_included() {
         let e = enumerate_schedules(&info(2, &[], 0), 1000);
-        assert!(e
-            .schedules
-            .iter()
-            .any(|s| s.contexts == vec![0b00, 0b11]), "missing the double unlock");
+        assert!(
+            e.schedules.iter().any(|s| s.contexts == vec![0b00, 0b11]),
+            "missing the double unlock"
+        );
     }
 }

@@ -46,7 +46,10 @@ impl std::fmt::Display for GuardError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GuardError::FallGuard(r) => {
-                write!(f, "rule {r} has a fall guard (<); only rise guards are supported")
+                write!(
+                    f,
+                    "rule {r} has a fall guard (<); only rise guards are supported"
+                )
             }
             GuardError::TooManyGuards(n) => write!(f, "{n} distinct guards exceed the limit of 64"),
         }

@@ -83,7 +83,10 @@ impl Constraint {
         }
         let mut g: i128 = 0;
         for (_, c) in expr.iter() {
-            let mut a = c.to_integer().expect("scaled coefficient is integral").abs();
+            let mut a = c
+                .to_integer()
+                .expect("scaled coefficient is integral")
+                .abs();
             let mut b = g;
             while b != 0 {
                 let t = a % b;
@@ -201,8 +204,14 @@ impl Constraint {
                 let mut hi = self.expr.clone();
                 hi.add_constant(Rat::from(-1));
                 vec![
-                    Constraint { expr: lo, rel: Rel::Le },
-                    Constraint { expr: hi, rel: Rel::Ge },
+                    Constraint {
+                        expr: lo,
+                        rel: Rel::Le,
+                    },
+                    Constraint {
+                        expr: hi,
+                        rel: Rel::Ge,
+                    },
                 ]
             }
         }

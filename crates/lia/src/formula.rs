@@ -114,6 +114,7 @@ impl Formula {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::True => Formula::False,
@@ -139,9 +140,7 @@ impl Formula {
             (Formula::True, false) | (Formula::False, true) => Formula::True,
             (Formula::True, true) | (Formula::False, false) => Formula::False,
             (Formula::Atom(c), false) => Formula::Atom(c.clone()),
-            (Formula::Atom(c), true) => {
-                Formula::or(c.negate().into_iter().map(Formula::Atom))
-            }
+            (Formula::Atom(c), true) => Formula::or(c.negate().into_iter().map(Formula::Atom)),
             (Formula::And(fs), false) => Formula::and(fs.iter().map(|f| f.nnf(false))),
             (Formula::And(fs), true) => Formula::or(fs.iter().map(|f| f.nnf(true))),
             (Formula::Or(fs), false) => Formula::or(fs.iter().map(|f| f.nnf(false))),

@@ -365,17 +365,15 @@ impl Simplex {
                 let st = &self.vars[b.index()];
                 if let Some(l) = st.lower {
                     if st.value < l {
-                        if violated.map_or(true, |(_, v, _, _)| b < v) {
+                        if violated.is_none_or(|(_, v, _, _)| b < v) {
                             violated = Some((idx, b, l, true));
                         }
                         continue;
                     }
                 }
                 if let Some(u) = st.upper {
-                    if st.value > u {
-                        if violated.map_or(true, |(_, v, _, _)| b < v) {
-                            violated = Some((idx, b, u, false));
-                        }
+                    if st.value > u && violated.is_none_or(|(_, v, _, _)| b < v) {
+                        violated = Some((idx, b, u, false));
                     }
                 }
             }
@@ -389,11 +387,11 @@ impl Simplex {
                 let eligible = if need_increase {
                     // xi must increase: xj can move in the direction that
                     // increases xi.
-                    (a.is_positive() && st.upper.map_or(true, |u| st.value < u))
-                        || (a.is_negative() && st.lower.map_or(true, |l| st.value > l))
+                    (a.is_positive() && st.upper.is_none_or(|u| st.value < u))
+                        || (a.is_negative() && st.lower.is_none_or(|l| st.value > l))
                 } else {
-                    (a.is_positive() && st.lower.map_or(true, |l| st.value > l))
-                        || (a.is_negative() && st.upper.map_or(true, |u| st.value < u))
+                    (a.is_positive() && st.lower.is_none_or(|l| st.value > l))
+                        || (a.is_negative() && st.upper.is_none_or(|u| st.value < u))
                 };
                 if eligible {
                     entering = Some(xj);

@@ -421,13 +421,19 @@ mod tests {
         let mut s = Solver::new();
         let x = s.new_var("x");
         let y = s.new_var("y");
-        s.assert_constraint(Constraint::eq(e(&[(x, 2), (y, 4)], 0), LinExpr::constant(7)));
+        s.assert_constraint(Constraint::eq(
+            e(&[(x, 2), (y, 4)], 0),
+            LinExpr::constant(7),
+        ));
         assert!(s.check().is_unsat());
         // 2x + 4y == 6 does.
         let mut s = Solver::new();
         let x = s.new_var("x");
         let y = s.new_var("y");
-        s.assert_constraint(Constraint::eq(e(&[(x, 2), (y, 4)], 0), LinExpr::constant(6)));
+        s.assert_constraint(Constraint::eq(
+            e(&[(x, 2), (y, 4)], 0),
+            LinExpr::constant(6),
+        ));
         assert!(s.check().is_sat());
     }
 
@@ -438,8 +444,14 @@ mod tests {
         let mut s = Solver::new();
         let x = s.new_nonneg_var("x");
         let y = s.new_nonneg_var("y");
-        s.assert_constraint(Constraint::ge(e(&[(x, 3), (y, 3)], 0), LinExpr::constant(5)));
-        s.assert_constraint(Constraint::le(e(&[(x, 1), (y, 1)], 0), LinExpr::constant(2)));
+        s.assert_constraint(Constraint::ge(
+            e(&[(x, 3), (y, 3)], 0),
+            LinExpr::constant(5),
+        ));
+        s.assert_constraint(Constraint::le(
+            e(&[(x, 1), (y, 1)], 0),
+            LinExpr::constant(2),
+        ));
         let r = s.check();
         let m = r.model().expect("sat");
         let (xv, yv) = (m.value(x), m.value(y));

@@ -44,16 +44,13 @@ impl RawConstraint {
 }
 
 fn raw_constraint() -> impl Strategy<Value = RawConstraint> {
-    (
-        prop::array::uniform3(-3i64..=3),
-        -8i64..=8,
-        0u8..=2,
-    )
-        .prop_map(|(coeffs, constant, rel)| RawConstraint {
+    (prop::array::uniform3(-3i64..=3), -8i64..=8, 0u8..=2).prop_map(|(coeffs, constant, rel)| {
+        RawConstraint {
             coeffs,
             constant,
             rel,
-        })
+        }
+    })
 }
 
 /// Brute-force satisfiability over the bounded domain.

@@ -233,9 +233,7 @@ fn classify_one(ta: &ThresholdAutomaton, formula: &Ltl) -> Result<Query, Fragmen
             }
             other => Err(FragmentError::UnsupportedShape(format!("<>({other})"))),
         },
-        Ltl::Implies(premise, conclusion) => {
-            classify_implication(ta, premise, conclusion)
-        }
+        Ltl::Implies(premise, conclusion) => classify_implication(ta, premise, conclusion),
         Ltl::State(_) | Ltl::And(_) => Err(FragmentError::UnsupportedShape(format!(
             "{formula} at top level"
         ))),
@@ -268,8 +266,7 @@ fn classify_implication(
                 Some(locs) => Premise::GloballyEmpty(locs),
                 None => {
                     return Err(FragmentError::UnsupportedShape(
-                        "premise [](e) where e is not a conjunction of emptiness atoms"
-                            .to_owned(),
+                        "premise [](e) where e is not a conjunction of emptiness atoms".to_owned(),
                     ))
                 }
             },
@@ -279,11 +276,7 @@ fn classify_implication(
                 )))
             }
         },
-        other => {
-            return Err(FragmentError::UnsupportedShape(format!(
-                "premise {other}"
-            )))
-        }
+        other => return Err(FragmentError::UnsupportedShape(format!("premise {other}"))),
     };
 
     match conclusion {

@@ -96,9 +96,11 @@ impl Justice {
     /// The tail condition expressed as a single proposition:
     /// `∧ (¬condition ∨ κ[source] = 0)`.
     pub fn as_prop(&self) -> Prop {
-        Prop::and(self.requirements.iter().map(|r| {
-            Prop::or([r.condition.negate(), Prop::loc_empty(r.source)])
-        }))
+        Prop::and(
+            self.requirements
+                .iter()
+                .map(|r| Prop::or([r.condition.negate(), Prop::loc_empty(r.source)])),
+        )
     }
 }
 

@@ -190,10 +190,7 @@ mod tests {
         let g = AtomicGuard::ge(VarExpr::var(x), ParamExpr::constant(1));
         assert!(is_stable(&ta, &Prop::guard(g.clone())));
         // Its negation is not.
-        assert!(!is_stable(
-            &ta,
-            &Prop::Atom(StateAtom::Guard(g).negate())
-        ));
+        assert!(!is_stable(&ta, &Prop::Atom(StateAtom::Guard(g).negate())));
     }
 
     #[test]

@@ -232,16 +232,56 @@ impl BvBroadcastModel {
     /// The paper's Table 1: what each location means.
     pub fn location_table(&self) -> Vec<LocationRow> {
         vec![
-            LocationRow { location: "V0", broadcast: "/", delivered: "/" },
-            LocationRow { location: "V1", broadcast: "/", delivered: "/" },
-            LocationRow { location: "B0", broadcast: "0", delivered: "/" },
-            LocationRow { location: "B1", broadcast: "1", delivered: "/" },
-            LocationRow { location: "B01", broadcast: "0,1", delivered: "/" },
-            LocationRow { location: "C0", broadcast: "0", delivered: "0" },
-            LocationRow { location: "CB0", broadcast: "0,1", delivered: "0" },
-            LocationRow { location: "C1", broadcast: "1", delivered: "1" },
-            LocationRow { location: "CB1", broadcast: "0,1", delivered: "1" },
-            LocationRow { location: "C01", broadcast: "0,1", delivered: "0,1" },
+            LocationRow {
+                location: "V0",
+                broadcast: "/",
+                delivered: "/",
+            },
+            LocationRow {
+                location: "V1",
+                broadcast: "/",
+                delivered: "/",
+            },
+            LocationRow {
+                location: "B0",
+                broadcast: "0",
+                delivered: "/",
+            },
+            LocationRow {
+                location: "B1",
+                broadcast: "1",
+                delivered: "/",
+            },
+            LocationRow {
+                location: "B01",
+                broadcast: "0,1",
+                delivered: "/",
+            },
+            LocationRow {
+                location: "C0",
+                broadcast: "0",
+                delivered: "0",
+            },
+            LocationRow {
+                location: "CB0",
+                broadcast: "0,1",
+                delivered: "0",
+            },
+            LocationRow {
+                location: "C1",
+                broadcast: "1",
+                delivered: "1",
+            },
+            LocationRow {
+                location: "CB1",
+                broadcast: "0,1",
+                delivered: "1",
+            },
+            LocationRow {
+                location: "C01",
+                broadcast: "0,1",
+                delivered: "0,1",
+            },
         ]
     }
 }

@@ -22,11 +22,11 @@
 #![forbid(unsafe_code)]
 
 mod bv_broadcast;
-mod reliable_broadcast;
 mod naive_consensus;
+mod reliable_broadcast;
 mod simplified_consensus;
 
 pub use bv_broadcast::{BvBroadcastModel, LocationRow};
-pub use reliable_broadcast::ReliableBroadcastModel;
 pub use naive_consensus::NaiveConsensusModel;
+pub use reliable_broadcast::ReliableBroadcastModel;
 pub use simplified_consensus::SimplifiedConsensusModel;

@@ -93,16 +93,26 @@ fn build_round(
 
     // The embedded bv-broadcast (Table 3, rules r1–r6, r8–r13); the
     // delivery rules also broadcast the aux message (a0/a1 increments).
-    b.rule(rule("r1"), v0, b0, Guard::always()).inc(shared.b0, 1);
-    b.rule(rule("r2"), v1, b1, Guard::always()).inc(shared.b1, 1);
-    b.rule(rule("r3"), b0, c0, ge(shared.b0, high.clone())).inc(shared.a0, 1);
-    b.rule(rule("r4"), b0, b01, ge(shared.b1, low.clone())).inc(shared.b1, 1);
-    b.rule(rule("r5"), b1, b01, ge(shared.b0, low.clone())).inc(shared.b0, 1);
-    b.rule(rule("r6"), b1, c1, ge(shared.b1, high.clone())).inc(shared.a1, 1);
-    b.rule(rule("r8"), c0, cb0, ge(shared.b1, low.clone())).inc(shared.b1, 1);
-    b.rule(rule("r9"), b01, c1, ge(shared.b1, high.clone())).inc(shared.a1, 1);
-    b.rule(rule("r10"), b01, c0, ge(shared.b0, high.clone())).inc(shared.a0, 1);
-    b.rule(rule("r11"), c1, cb1, ge(shared.b0, low)).inc(shared.b0, 1);
+    b.rule(rule("r1"), v0, b0, Guard::always())
+        .inc(shared.b0, 1);
+    b.rule(rule("r2"), v1, b1, Guard::always())
+        .inc(shared.b1, 1);
+    b.rule(rule("r3"), b0, c0, ge(shared.b0, high.clone()))
+        .inc(shared.a0, 1);
+    b.rule(rule("r4"), b0, b01, ge(shared.b1, low.clone()))
+        .inc(shared.b1, 1);
+    b.rule(rule("r5"), b1, b01, ge(shared.b0, low.clone()))
+        .inc(shared.b0, 1);
+    b.rule(rule("r6"), b1, c1, ge(shared.b1, high.clone()))
+        .inc(shared.a1, 1);
+    b.rule(rule("r8"), c0, cb0, ge(shared.b1, low.clone()))
+        .inc(shared.b1, 1);
+    b.rule(rule("r9"), b01, c1, ge(shared.b1, high.clone()))
+        .inc(shared.a1, 1);
+    b.rule(rule("r10"), b01, c0, ge(shared.b0, high.clone()))
+        .inc(shared.a0, 1);
+    b.rule(rule("r11"), c1, cb1, ge(shared.b0, low))
+        .inc(shared.b0, 1);
     b.rule(rule("r12"), cb0, c01, ge(shared.b1, high.clone()));
     b.rule(rule("r13"), cb1, c01, ge(shared.b0, high));
 
@@ -116,7 +126,12 @@ fn build_round(
     b.rule(rule("r14"), c0, to_if0, ge(shared.a0, quorum.clone()));
     b.rule(rule("r15"), cb0, to_if0, ge(shared.a0, quorum.clone()));
     b.rule(rule("r16"), c01, to_if0, ge(shared.a0, quorum.clone()));
-    b.rule(rule("r17"), c01, to_mixed, ge2(shared.a0, shared.a1, quorum.clone()));
+    b.rule(
+        rule("r17"),
+        c01,
+        to_mixed,
+        ge2(shared.a0, shared.a1, quorum.clone()),
+    );
     b.rule(rule("r18"), cb1, to_if1, ge(shared.a1, quorum.clone()));
     b.rule(rule("r19"), c01, to_if1, ge(shared.a1, quorum));
 
@@ -214,7 +229,8 @@ impl NaiveConsensusModel {
         // decided 1 keeps estimate 1 and participates in the next round.
         b.rule("r20", r1.e0, r2.v0, Guard::always()).round_switch();
         b.rule("r21", r1.e1, r2.v1, Guard::always()).round_switch();
-        b.rule("r22", r1.decided, r2.v1, Guard::always()).round_switch();
+        b.rule("r22", r1.decided, r2.v1, Guard::always())
+            .round_switch();
 
         // Self-loops on the superround's terminal locations (the paper's
         // rule count of 45 = 2×19 + 3 switches + 4 self-loops).

@@ -159,14 +159,15 @@ impl SimplifiedConsensusModel {
         // superround; these are the solid odd→even switches).
         b.rule("s12", r1.e0, r2.v0, Guard::always()).round_switch();
         b.rule("s13", r1.e1, r2.v1, Guard::always()).round_switch();
-        b.rule("s14", r1.decided, r2.v1, Guard::always()).round_switch();
+        b.rule("s14", r1.decided, r2.v1, Guard::always())
+            .round_switch();
 
         // 12 self-loops: the gadget waiting locations of both rounds and
         // the superround's terminal locations (rule count 37 = 2×11 + 3
         // switches + 12 self-loops).
         for loc in [
-            r1.m, r1.m0, r1.m1, r1.m01, r2.m, r2.m0, r2.m1, r2.m01, r1.decided, r2.decided,
-            r2.e0, r2.e1,
+            r1.m, r1.m0, r1.m1, r1.m01, r2.m, r2.m0, r2.m1, r2.m01, r1.decided, r2.decided, r2.e0,
+            r2.e1,
         ] {
             b.self_loop(loc);
         }
@@ -312,8 +313,16 @@ impl SimplifiedConsensusModel {
             let m01 = self.loc(&format!("M01{suffix}"));
             // BV-Obligation: t+1 correct broadcasts of v force delivery
             // of v everywhere, draining the other-value-only location.
-            j.require(ge(bvb0, t_plus_1.clone()), m1, format!("BV-Obligation{suffix}"));
-            j.require(ge(bvb1, t_plus_1.clone()), m0, format!("BV-Obligation{suffix}"));
+            j.require(
+                ge(bvb0, t_plus_1.clone()),
+                m1,
+                format!("BV-Obligation{suffix}"),
+            );
+            j.require(
+                ge(bvb1, t_plus_1.clone()),
+                m0,
+                format!("BV-Obligation{suffix}"),
+            );
             // BV-Uniformity: one first-delivery of v forces delivery of
             // v everywhere.
             j.require(

@@ -1,0 +1,480 @@
+//! The Byzantine strategy library: adversaries that drive the faulty
+//! processes automatically.
+//!
+//! The seed simulator only supported *scripted* Byzantine behaviour
+//! (manual [`inject`](crate::Simulation::inject) calls, as in the
+//! Lemma 7 reproduction). An [`Adversary`] closes the loop: before each
+//! scheduling step it observes the system through a restricted
+//! [`AdversaryView`] — Byzantine processes legitimately see every
+//! message sent to them, so exposing rounds/estimates/pending traffic
+//! is a *fair* model, not an omniscient one — and injects whatever its
+//! strategy calls for.
+//!
+//! Strategies are intentionally diverse along the axes the paper's
+//! properties care about:
+//!
+//! * [`Silent`] — crash-like: contributes nothing (tests the `n − t`
+//!   quorums' tolerance of missing senders);
+//! * [`Equivocator`] — splits the correct processes in half and tells
+//!   each half a different value, in both `BV` and `aux` messages
+//!   (attacks Agreement through bv-broadcast's `2t+1` justification);
+//! * [`TargetedLiar`] — picks one victim and feeds it the opposite of
+//!   what everyone else is told (attacks Agreement through asymmetry);
+//! * [`ValueFlipSpammer`] — floods alternating values at plausible
+//!   rounds on a delivery-count cadence (attacks Validity/Justification
+//!   by trying to launder a value no correct process proposed);
+//! * [`Staller`] — the Lemma 7 shape: keeps the value *opposite* to
+//!   each round's parity alive so `qualifiers` stays mixed and no round
+//!   decides (attacks Termination; harmless under the paper's fairness
+//!   assumption, i.e. the [`GoodRoundScheduler`](crate::GoodRoundScheduler)).
+//!
+//! All strategies bound their injections (once per round, or on a
+//! delivery cadence), so runs still make progress and the pending pool
+//! drains.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::message::{Envelope, Payload, ProcessId, ValueSet};
+use crate::simulation::{SimParams, Simulation};
+
+/// What an adversary may see and do. A restricted, mutation-safe facade
+/// over the simulation: reads are what real Byzantine processes could
+/// observe (their own inboxes — approximated here by global state, the
+/// standard strong-adversary model), writes are message injections
+/// from Byzantine senders only ([`Simulation::inject`] enforces that).
+pub struct AdversaryView<'a> {
+    sim: &'a mut Simulation,
+}
+
+impl<'a> AdversaryView<'a> {
+    pub(crate) fn new(sim: &'a mut Simulation) -> AdversaryView<'a> {
+        AdversaryView { sim }
+    }
+
+    /// System parameters.
+    pub fn params(&self) -> SimParams {
+        self.sim.params()
+    }
+
+    /// Ids of the Byzantine processes.
+    pub fn byzantine_ids(&self) -> Vec<ProcessId> {
+        (0..self.sim.params().n)
+            .map(ProcessId)
+            .filter(|&p| self.sim.is_byzantine(p))
+            .collect()
+    }
+
+    /// Ids of the correct processes.
+    pub fn correct_ids(&self) -> Vec<ProcessId> {
+        self.sim.correct_ids()
+    }
+
+    /// Current round of a correct process.
+    pub fn round_of(&self, p: ProcessId) -> u64 {
+        self.sim.process(p).round()
+    }
+
+    /// Current estimate of a correct process.
+    pub fn estimate_of(&self, p: ProcessId) -> u8 {
+        self.sim.process(p).estimate()
+    }
+
+    /// The highest round any correct process has reached.
+    pub fn max_round(&self) -> u64 {
+        self.correct_ids()
+            .iter()
+            .map(|&p| self.round_of(p))
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// The lowest round any correct process is still in.
+    pub fn min_round(&self) -> u64 {
+        self.correct_ids()
+            .iter()
+            .map(|&p| self.round_of(p))
+            .min()
+            .unwrap_or(1)
+    }
+
+    /// Total deliveries so far (the simulation clock).
+    pub fn deliveries(&self) -> u64 {
+        self.sim.deliveries()
+    }
+
+    /// The in-flight messages (read-only).
+    pub fn pending(&self) -> &[Envelope] {
+        self.sim.pending()
+    }
+
+    /// Injects one message from a Byzantine sender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not Byzantine.
+    pub fn inject(&mut self, from: ProcessId, to: ProcessId, payload: Payload) {
+        self.sim.inject(from, to, payload);
+    }
+
+    /// Injects `payload` from a Byzantine sender to every process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not Byzantine.
+    pub fn inject_broadcast(&mut self, from: ProcessId, payload: Payload) {
+        self.sim.inject_broadcast(from, payload);
+    }
+}
+
+/// A Byzantine strategy, consulted before every scheduling step.
+pub trait Adversary {
+    /// A short stable name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Observes the system and injects messages (or not).
+    fn step(&mut self, view: &mut AdversaryView<'_>);
+}
+
+/// Crash-like: the Byzantine processes never send anything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Silent;
+
+impl Adversary for Silent {
+    fn name(&self) -> &'static str {
+        "silent"
+    }
+
+    fn step(&mut self, _view: &mut AdversaryView<'_>) {}
+}
+
+/// The classic DBFT equivocation: once per round per Byzantine process,
+/// support *both* values at the `BV` layer (so either value can clear
+/// the `2t+1` delivery threshold somewhere) while splitting the `aux`
+/// votes — one half of the correct processes is told `{0}`, the other
+/// half `{1}`. Within resilience (`t < n/3`) the `n−t` aux quorums
+/// intersect in a correct process and Agreement holds; at `t ≥ n/3`
+/// this is exactly the strategy that makes two correct processes decide
+/// differently.
+#[derive(Clone, Debug, Default)]
+pub struct Equivocator {
+    acted: HashSet<(ProcessId, u64)>,
+}
+
+impl Equivocator {
+    /// Creates the strategy.
+    pub fn new() -> Equivocator {
+        Equivocator::default()
+    }
+}
+
+impl Adversary for Equivocator {
+    fn name(&self) -> &'static str {
+        "equivocator"
+    }
+
+    fn step(&mut self, view: &mut AdversaryView<'_>) {
+        let round = view.max_round();
+        let correct = view.correct_ids();
+        let half = correct.len() / 2;
+        for from in view.byzantine_ids() {
+            if !self.acted.insert((from, round)) {
+                continue;
+            }
+            for (i, &to) in correct.iter().enumerate() {
+                view.inject(from, to, Payload::Bv { round, value: 0 });
+                view.inject(from, to, Payload::Bv { round, value: 1 });
+                view.inject(
+                    from,
+                    to,
+                    Payload::Aux {
+                        round,
+                        values: ValueSet::singleton(u8::from(i >= half)),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Feeds one victim the opposite of what everyone else is told: the
+/// victim hears the negation of its own estimate, the rest hear the
+/// estimate itself.
+#[derive(Clone, Debug)]
+pub struct TargetedLiar {
+    victim: ProcessId,
+    acted: HashSet<(ProcessId, u64)>,
+}
+
+impl TargetedLiar {
+    /// Creates the strategy against the given victim (clamped to a
+    /// correct id at step time — a Byzantine victim would be pointless).
+    pub fn new(victim: ProcessId) -> TargetedLiar {
+        TargetedLiar {
+            victim,
+            acted: HashSet::new(),
+        }
+    }
+}
+
+impl Adversary for TargetedLiar {
+    fn name(&self) -> &'static str {
+        "targeted-liar"
+    }
+
+    fn step(&mut self, view: &mut AdversaryView<'_>) {
+        let correct = view.correct_ids();
+        let victim = if correct.contains(&self.victim) {
+            self.victim
+        } else {
+            match correct.first() {
+                Some(&p) => p,
+                None => return,
+            }
+        };
+        let round = view.round_of(victim);
+        let lie = 1 - view.estimate_of(victim);
+        for from in view.byzantine_ids() {
+            if !self.acted.insert((from, round)) {
+                continue;
+            }
+            for &to in &correct {
+                let value = if to == victim { lie } else { 1 - lie };
+                view.inject(from, to, Payload::Bv { round, value });
+                view.inject(
+                    from,
+                    to,
+                    Payload::Aux {
+                        round,
+                        values: ValueSet::singleton(value),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Floods alternating binary values at plausible rounds, one injection
+/// per Byzantine process every `cadence` deliveries. Tries to launder a
+/// value no correct process proposed (the BV-Justification attack) and
+/// to re-order quorum formation.
+#[derive(Clone, Debug)]
+pub struct ValueFlipSpammer {
+    rng: StdRng,
+    cadence: u64,
+    next_at: u64,
+    value: u8,
+}
+
+impl ValueFlipSpammer {
+    /// Creates the strategy with the given RNG seed. `cadence` is in
+    /// deliveries; it is clamped to at least 1.
+    pub fn new(seed: u64, cadence: u64) -> ValueFlipSpammer {
+        ValueFlipSpammer {
+            rng: StdRng::seed_from_u64(seed),
+            cadence: cadence.max(1),
+            next_at: 0,
+            value: 1,
+        }
+    }
+}
+
+impl Adversary for ValueFlipSpammer {
+    fn name(&self) -> &'static str {
+        "value-flip-spammer"
+    }
+
+    fn step(&mut self, view: &mut AdversaryView<'_>) {
+        if view.deliveries() < self.next_at {
+            return;
+        }
+        self.next_at = view.deliveries() + self.cadence;
+        let n = view.params().n;
+        let max_round = view.max_round();
+        for from in view.byzantine_ids() {
+            self.value = 1 - self.value;
+            let round = max_round.saturating_sub(self.rng.gen_range(0..2)).max(1);
+            let to = ProcessId(self.rng.gen_range(0..n));
+            let payload = if self.rng.gen_bool(0.5) {
+                Payload::Bv {
+                    round,
+                    value: self.value,
+                }
+            } else {
+                Payload::Aux {
+                    round,
+                    values: ValueSet::singleton(self.value),
+                }
+            };
+            view.inject(from, to, payload);
+        }
+    }
+}
+
+/// The Lemma 7 shape, generalised: in every round, keep the value
+/// *opposite* to the round's parity alive (`BV` support plus `aux`
+/// votes for it), so `qualifiers` tends to stay `{0,1}` or the wrong
+/// singleton and the decision guard `qualifiers = {r mod 2}` never
+/// fires. Under an unfair scheduler this delays termination
+/// indefinitely; under the paper's fairness assumption (Definition 3 —
+/// the [`GoodRoundScheduler`](crate::GoodRoundScheduler)) it is
+/// harmless, which is exactly Theorem 6.
+#[derive(Clone, Debug, Default)]
+pub struct Staller {
+    acted: HashSet<(ProcessId, u64)>,
+}
+
+impl Staller {
+    /// Creates the strategy.
+    pub fn new() -> Staller {
+        Staller::default()
+    }
+}
+
+impl Adversary for Staller {
+    fn name(&self) -> &'static str {
+        "staller"
+    }
+
+    fn step(&mut self, view: &mut AdversaryView<'_>) {
+        let round = view.min_round();
+        let poison = 1 - (round % 2) as u8;
+        for from in view.byzantine_ids() {
+            if !self.acted.insert((from, round)) {
+                continue;
+            }
+            view.inject_broadcast(
+                from,
+                Payload::Bv {
+                    round,
+                    value: poison,
+                },
+            );
+            view.inject_broadcast(
+                from,
+                Payload::Aux {
+                    round,
+                    values: ValueSet::singleton(poison),
+                },
+            );
+        }
+    }
+}
+
+/// Named strategies for scenario sweeps. Each expands to a boxed
+/// [`Adversary`] parameterized by seed and system size.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StrategyKind {
+    /// [`Silent`].
+    Silent,
+    /// [`Equivocator`].
+    Equivocator,
+    /// [`TargetedLiar`] (victim: process 0).
+    TargetedLiar,
+    /// [`ValueFlipSpammer`] (cadence 2).
+    ValueFlipSpammer,
+    /// [`Staller`].
+    Staller,
+}
+
+impl StrategyKind {
+    /// All named strategies, for sweeps.
+    pub fn all() -> [StrategyKind; 5] {
+        [
+            StrategyKind::Silent,
+            StrategyKind::Equivocator,
+            StrategyKind::TargetedLiar,
+            StrategyKind::ValueFlipSpammer,
+            StrategyKind::Staller,
+        ]
+    }
+
+    /// A short stable name (used in reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::Silent => "silent",
+            StrategyKind::Equivocator => "equivocator",
+            StrategyKind::TargetedLiar => "targeted-liar",
+            StrategyKind::ValueFlipSpammer => "value-flip-spammer",
+            StrategyKind::Staller => "staller",
+        }
+    }
+
+    /// Builds the strategy for a concrete system.
+    pub fn build(&self, seed: u64, _params: SimParams) -> Box<dyn Adversary> {
+        match self {
+            StrategyKind::Silent => Box::new(Silent),
+            StrategyKind::Equivocator => Box::new(Equivocator::new()),
+            StrategyKind::TargetedLiar => Box::new(TargetedLiar::new(ProcessId(0))),
+            StrategyKind::ValueFlipSpammer => Box::new(ValueFlipSpammer::new(seed, 2)),
+            StrategyKind::Staller => Box::new(Staller::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor;
+    use crate::simulation::{GoodRoundScheduler, Outcome, RandomScheduler};
+
+    fn proposals(n: usize, seed: u64) -> Vec<u8> {
+        (0..n).map(|i| ((i as u64 ^ seed) % 2) as u8).collect()
+    }
+
+    #[test]
+    fn every_strategy_preserves_safety_at_4_1_1() {
+        let params = SimParams { n: 4, t: 1, f: 1 };
+        for kind in StrategyKind::all() {
+            for seed in 0..5 {
+                let props = proposals(4, seed);
+                let mut sim = Simulation::new(params, &props);
+                let mut adv = kind.build(seed, params);
+                let mut sched = RandomScheduler::new(StdRng::seed_from_u64(seed));
+                let _ = sim.run_with_adversary(&mut sched, adv.as_mut(), 200_000);
+                monitor::check_safety(&sim, &props[..3])
+                    .unwrap_or_else(|v| panic!("{} seed {seed}: {v}", kind.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn every_strategy_terminates_under_fairness() {
+        let params = SimParams { n: 4, t: 1, f: 1 };
+        for kind in StrategyKind::all() {
+            let props = [0, 1, 1, 0];
+            let mut sim = Simulation::new(params, &props);
+            let mut adv = kind.build(7, params);
+            let mut sched = GoodRoundScheduler::new();
+            let outcome = sim.run_with_adversary(&mut sched, adv.as_mut(), 1_000_000);
+            assert_eq!(outcome, Outcome::AllDecided, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn equivocator_cannot_break_agreement_within_resilience() {
+        let params = SimParams { n: 7, t: 2, f: 2 };
+        for seed in 0..5 {
+            let props = proposals(7, seed);
+            let mut sim = Simulation::new(params, &props);
+            let mut adv = Equivocator::new();
+            let mut sched = RandomScheduler::new(StdRng::seed_from_u64(seed));
+            let _ = sim.run_with_adversary(&mut sched, &mut adv, 400_000);
+            monitor::check_agreement(&sim).unwrap();
+        }
+    }
+
+    #[test]
+    fn staller_is_bounded_per_round() {
+        // The staller injects once per (process, round): with a budget
+        // the run ends without flooding the pending pool unboundedly.
+        let params = SimParams { n: 4, t: 1, f: 1 };
+        let mut sim = Simulation::new(params, &[0, 0, 1, 0]);
+        let mut adv = Staller::new();
+        let mut sched = RandomScheduler::new(StdRng::seed_from_u64(3));
+        let _ = sim.run_with_adversary(&mut sched, &mut adv, 50_000);
+        monitor::check_safety(&sim, &[0, 0, 1]).unwrap();
+    }
+}

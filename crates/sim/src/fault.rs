@@ -1,0 +1,308 @@
+//! The faulty-network layer: seed-deterministic message loss,
+//! duplication, delay, and partition/heal schedules.
+//!
+//! The paper's algorithms assume a *reliable* asynchronous network —
+//! every sent message is eventually delivered, in adversary-chosen
+//! order. This module deliberately weakens that assumption so the
+//! monitors can be stressed under realistic deployments: a
+//! [`FaultConfig`] attached to a
+//! [`Simulation`](crate::Simulation) intercepts every send and may
+//! drop it (bounded, so eventual delivery is merely *delayed*, not
+//! denied — the paper's model), duplicate it (receivers are idempotent,
+//! so this tests exactly that), or defer it for a while. Partition
+//! windows quarantine all traffic crossing a node cut until the heal
+//! point, modelling transient network splits.
+//!
+//! All randomness is derived from the config's seed, so a scenario is
+//! reproducible from `(params, proposals, FaultConfig, scheduler seed)`
+//! alone. Time is measured in *deliveries* (the simulation's only
+//! clock).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::message::{Envelope, ProcessId};
+use crate::simulation::SimParams;
+
+/// A transient network partition: between `start` and `heal`
+/// (delivery-count timestamps), messages crossing the cut between
+/// `side` and its complement are quarantined; they are released,
+/// unharmed, at `heal`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Delivery count at which the partition starts.
+    pub start: u64,
+    /// Delivery count at which it heals (exclusive).
+    pub heal: u64,
+    /// Process ids on one side of the cut (the complement forms the
+    /// other side).
+    pub side: Vec<ProcessId>,
+}
+
+impl Partition {
+    /// Whether the partition is active at delivery-time `now`.
+    pub fn active_at(&self, now: u64) -> bool {
+        (self.start..self.heal).contains(&now)
+    }
+
+    /// Whether `env` crosses the cut.
+    pub fn cuts(&self, env: &Envelope) -> bool {
+        self.side.contains(&env.from) != self.side.contains(&env.to)
+    }
+}
+
+/// Configuration of the faulty network. All probabilities are in
+/// thousandths, all times in deliveries. The default is a perfectly
+/// reliable network.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct FaultConfig {
+    /// Seed of the fault layer's private RNG.
+    pub seed: u64,
+    /// Probability (×1000) that a sent message is dropped.
+    pub drop_per_mille: u32,
+    /// Upper bound on total drops. Keeping this finite preserves the
+    /// reliable-network guarantee *eventually*; retransmission (see
+    /// [`RetransmitPolicy`](crate::RetransmitPolicy)) restores liveness
+    /// even when it is generous.
+    pub max_drops: u64,
+    /// Probability (×1000) that a sent message is duplicated.
+    pub duplicate_per_mille: u32,
+    /// Probability (×1000) that a sent message is delayed.
+    pub delay_per_mille: u32,
+    /// How long (in deliveries) a delayed message stays undeliverable.
+    pub delay_deliveries: u64,
+    /// Partition/heal schedule.
+    pub partitions: Vec<Partition>,
+}
+
+/// What the fault layer decides to do with one sent message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fate {
+    /// Put it in flight normally.
+    Deliver,
+    /// Lose it.
+    Drop,
+    /// Put two copies in flight.
+    Duplicate,
+    /// Hold it back until the given delivery count.
+    Delay(u64),
+}
+
+/// The stateful fault layer owned by a simulation: the config, its
+/// private RNG, and the drop budget already spent.
+#[derive(Clone, Debug)]
+pub struct FaultLayer {
+    config: FaultConfig,
+    rng: StdRng,
+    drops: u64,
+}
+
+impl FaultLayer {
+    /// Builds the layer from a config.
+    pub fn new(config: FaultConfig) -> FaultLayer {
+        let rng = StdRng::seed_from_u64(config.seed);
+        FaultLayer {
+            config,
+            rng,
+            drops: 0,
+        }
+    }
+
+    /// The config.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Total messages dropped so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Decides the fate of a message sent at delivery-time `now`.
+    pub fn route(&mut self, _env: &Envelope, now: u64) -> Fate {
+        let c = &self.config;
+        if c.drop_per_mille > 0
+            && self.drops < c.max_drops
+            && self.rng.gen_range(0..1000) < c.drop_per_mille
+        {
+            self.drops += 1;
+            return Fate::Drop;
+        }
+        if c.duplicate_per_mille > 0 && self.rng.gen_range(0..1000) < c.duplicate_per_mille {
+            return Fate::Duplicate;
+        }
+        if c.delay_per_mille > 0 && self.rng.gen_range(0..1000) < c.delay_per_mille {
+            return Fate::Delay(now + c.delay_deliveries.max(1));
+        }
+        Fate::Deliver
+    }
+
+    /// If a partition active at `now` cuts `env`, returns the heal time
+    /// at which the message may move again.
+    pub fn quarantine_until(&self, env: &Envelope, now: u64) -> Option<u64> {
+        self.config
+            .partitions
+            .iter()
+            .filter(|p| p.active_at(now) && p.cuts(env))
+            .map(|p| p.heal)
+            .max()
+    }
+}
+
+/// Named fault schedules for scenario sweeps. Each expands to a
+/// concrete [`FaultConfig`] parameterized by seed and system size.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultScheduleKind {
+    /// Reliable network (the paper's model).
+    Reliable,
+    /// Bounded loss plus mild delay: every message class is hit
+    /// eventually, retransmission keeps the run live.
+    Lossy,
+    /// Heavy duplication and delay with aggressive reordering pressure.
+    Chaotic,
+    /// Two partition/heal windows isolating a minority, then a
+    /// different minority.
+    Partitioned,
+}
+
+impl FaultScheduleKind {
+    /// All named schedules, for sweeps.
+    pub fn all() -> [FaultScheduleKind; 4] {
+        [
+            FaultScheduleKind::Reliable,
+            FaultScheduleKind::Lossy,
+            FaultScheduleKind::Chaotic,
+            FaultScheduleKind::Partitioned,
+        ]
+    }
+
+    /// A short stable name (used in reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultScheduleKind::Reliable => "reliable",
+            FaultScheduleKind::Lossy => "lossy",
+            FaultScheduleKind::Chaotic => "chaotic",
+            FaultScheduleKind::Partitioned => "partitioned",
+        }
+    }
+
+    /// Expands to a concrete config for the given system.
+    pub fn build(&self, seed: u64, params: SimParams) -> FaultConfig {
+        match self {
+            FaultScheduleKind::Reliable => FaultConfig {
+                seed,
+                ..FaultConfig::default()
+            },
+            FaultScheduleKind::Lossy => FaultConfig {
+                seed,
+                drop_per_mille: 80,
+                max_drops: 40 * params.n as u64,
+                delay_per_mille: 100,
+                delay_deliveries: 50,
+                ..FaultConfig::default()
+            },
+            FaultScheduleKind::Chaotic => FaultConfig {
+                seed,
+                drop_per_mille: 30,
+                max_drops: 10 * params.n as u64,
+                duplicate_per_mille: 200,
+                delay_per_mille: 250,
+                delay_deliveries: 120,
+                ..FaultConfig::default()
+            },
+            FaultScheduleKind::Partitioned => {
+                // Isolate the first ⌈n/3⌉ correct processes early on,
+                // heal, then isolate a different minority later.
+                let third = params.n.div_ceil(3);
+                let first: Vec<ProcessId> = (0..third).map(ProcessId).collect();
+                let second: Vec<ProcessId> = (third..2 * third).map(ProcessId).collect();
+                FaultConfig {
+                    seed,
+                    partitions: vec![
+                        Partition {
+                            start: 40,
+                            heal: 400,
+                            side: first,
+                        },
+                        Partition {
+                            start: 800,
+                            heal: 1_400,
+                            side: second,
+                        },
+                    ],
+                    ..FaultConfig::default()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Payload;
+
+    fn env(from: usize, to: usize) -> Envelope {
+        Envelope {
+            from: ProcessId(from),
+            to: ProcessId(to),
+            payload: Payload::Bv { round: 1, value: 0 },
+        }
+    }
+
+    #[test]
+    fn drops_respect_the_budget() {
+        let mut layer = FaultLayer::new(FaultConfig {
+            seed: 1,
+            drop_per_mille: 1000,
+            max_drops: 5,
+            ..FaultConfig::default()
+        });
+        let mut dropped = 0;
+        for i in 0..100 {
+            if layer.route(&env(0, 1), i) == Fate::Drop {
+                dropped += 1;
+            }
+        }
+        assert_eq!(dropped, 5);
+        assert_eq!(layer.drops(), 5);
+    }
+
+    #[test]
+    fn reliable_config_never_touches_messages() {
+        let mut layer =
+            FaultLayer::new(FaultScheduleKind::Reliable.build(3, SimParams { n: 4, t: 1, f: 1 }));
+        for i in 0..1000 {
+            assert_eq!(layer.route(&env(0, 1), i), Fate::Deliver);
+        }
+    }
+
+    #[test]
+    fn routing_is_seed_deterministic() {
+        let config = FaultScheduleKind::Chaotic.build(9, SimParams { n: 4, t: 1, f: 1 });
+        let mut a = FaultLayer::new(config.clone());
+        let mut b = FaultLayer::new(config);
+        for i in 0..500 {
+            assert_eq!(a.route(&env(0, 2), i), b.route(&env(0, 2), i));
+        }
+    }
+
+    #[test]
+    fn partitions_quarantine_crossing_messages_only() {
+        let layer = FaultLayer::new(FaultConfig {
+            partitions: vec![Partition {
+                start: 10,
+                heal: 20,
+                side: vec![ProcessId(0), ProcessId(1)],
+            }],
+            ..FaultConfig::default()
+        });
+        // Crossing, inside the window.
+        assert_eq!(layer.quarantine_until(&env(0, 2), 15), Some(20));
+        // Same side.
+        assert_eq!(layer.quarantine_until(&env(0, 1), 15), None);
+        // Outside the window.
+        assert_eq!(layer.quarantine_until(&env(0, 2), 25), None);
+        assert_eq!(layer.quarantine_until(&env(0, 2), 5), None);
+    }
+}

@@ -14,7 +14,19 @@
 //! * [`run_lemma7`] — the scripted adversary of Lemma 7 / Appendix B
 //!   that keeps DBFT undecided forever without fairness;
 //! * [`monitor`] — Agreement/Validity/Termination and BV-property
-//!   checks over traces.
+//!   checks over traces;
+//! * [`adversary`] — the Byzantine strategy library ([`StrategyKind`]):
+//!   silence, equivocation, targeted lying, value-flip spam, Lemma-7
+//!   style stalling, driven automatically via
+//!   [`Simulation::run_with_adversary`];
+//! * [`fault`] — the faulty-network layer ([`FaultScheduleKind`]):
+//!   seed-deterministic drop/duplicate/delay and partition/heal
+//!   schedules, complemented by retransmission-with-backoff
+//!   ([`RetransmitPolicy`]);
+//! * [`plan`] — scenario sweeps ([`FaultPlan::standard`]) running every
+//!   strategy × fault schedule × system size under all monitors;
+//! * [`shrink`] — schedule recording, replay, and delta-debugging of
+//!   violating runs to minimal reproducing traces.
 //!
 //! # Examples
 //!
@@ -30,15 +42,23 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversary;
+pub mod fault;
 mod lemma7;
 mod message;
 pub mod monitor;
+pub mod plan;
 mod process;
+pub mod shrink;
 mod simulation;
 
+pub use adversary::{Adversary, AdversaryView, StrategyKind};
+pub use fault::{FaultConfig, FaultLayer, FaultScheduleKind, Partition};
 pub use lemma7::run_lemma7;
 pub use message::{Envelope, Payload, ProcessId, ValueSet};
+pub use plan::{FaultPlan, RunReport, Scenario, ShrunkViolation};
 pub use process::{DbftProcess, Decision, Event};
 pub use simulation::{
-    GoodRoundScheduler, Outcome, RandomScheduler, Scheduler, SimParams, Simulation,
+    GoodRoundScheduler, Outcome, RandomScheduler, RetransmitPolicy, ScheduleEvent, Scheduler,
+    SimParams, Simulation,
 };

@@ -16,6 +16,14 @@ pub struct Violation {
     pub details: String,
 }
 
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} violated: {}", self.property, self.details)
+    }
+}
+
+impl std::error::Error for Violation {}
+
 /// **Agreement**: no two correct processes decide different values.
 pub fn check_agreement(sim: &Simulation) -> Result<(), Violation> {
     let mut decided: Option<(ProcessId, u8)> = None;
@@ -26,10 +34,7 @@ pub fn check_agreement(sim: &Simulation) -> Result<(), Violation> {
                 Some((first, v)) if v != d.value => {
                     return Err(Violation {
                         property: "Agreement",
-                        details: format!(
-                            "{first} decided {v} but p{i} decided {}",
-                            d.value
-                        ),
+                        details: format!("{first} decided {v} but p{i} decided {}", d.value),
                     })
                 }
                 _ => {}

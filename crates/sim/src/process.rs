@@ -213,6 +213,44 @@ impl DbftProcess {
         out
     }
 
+    /// Re-emits the process's current-round protocol messages: every
+    /// `BV` value it has already (re-)broadcast and, if sent, its `aux`
+    /// message (carrying the current `contestants`, which is always a
+    /// justified superset of the original snapshot).
+    ///
+    /// This is the sender side of retransmission-with-backoff: under a
+    /// *lossy* network (the fault layer weakens the paper's reliable
+    /// link assumption) a correct implementation periodically resends
+    /// its round state so that any message lost to a bounded adversary
+    /// is eventually delivered. Receivers are idempotent — `bv_received`
+    /// is a set and only the first `aux` per sender counts — so
+    /// retransmission never changes the protocol state machine, it only
+    /// restores the reliable-delivery guarantee the proofs assume.
+    pub fn retransmit(&self) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        let round = self.round;
+        if let Some(state) = self.rounds.get(&round) {
+            for v in 0..=1u8 {
+                if state.bv_echoed[v as usize] {
+                    out.extend(self.broadcast(Payload::Bv { round, value: v }));
+                }
+            }
+            if state.aux_sent {
+                out.extend(self.broadcast(Payload::Aux {
+                    round,
+                    values: state.contestants,
+                }));
+            }
+        } else {
+            // Round state not yet materialised: resend the estimate.
+            out.extend(self.broadcast(Payload::Bv {
+                round,
+                value: self.est,
+            }));
+        }
+        out
+    }
+
     /// Handles a received message, returning the messages it triggers.
     /// Messages for past rounds are discarded, messages for future
     /// rounds are buffered (communication closure, §2).
@@ -251,7 +289,7 @@ impl DbftProcess {
             // Fig. 1, line 4: echo after t+1 distinct copies.
             let mut echoed_value = None;
             for v in 0..=1u8 {
-                if !state.bv_echoed[v as usize] && state.bv_received[v as usize].len() >= t + 1 {
+                if !state.bv_echoed[v as usize] && state.bv_received[v as usize].len() > t {
                     state.bv_echoed[v as usize] = true;
                     echoed_value = Some(v);
                     break;
@@ -270,8 +308,7 @@ impl DbftProcess {
             // Fig. 1, line 6: deliver after 2t+1 distinct copies.
             let mut delivered = None;
             for v in 0..=1u8 {
-                if !state.contestants.contains(v) && state.bv_received[v as usize].len() >= 2 * t + 1
-                {
+                if !state.contestants.contains(v) && state.bv_received[v as usize].len() > 2 * t {
                     let first = state.contestants.is_empty();
                     state.contestants.insert(v);
                     delivered = Some((v, first));
@@ -336,15 +373,13 @@ impl DbftProcess {
         match qualifiers.as_singleton() {
             Some(v) => {
                 self.est = v;
-                if v == parity {
-                    if self.decision.is_none() {
-                        self.decision = Some(Decision { value: v, round });
-                        self.events.push(Event::Decide {
-                            process: self.id,
-                            round,
-                            value: v,
-                        });
-                    }
+                if v == parity && self.decision.is_none() {
+                    self.decision = Some(Decision { value: v, round });
+                    self.events.push(Event::Decide {
+                        process: self.id,
+                        round,
+                        value: v,
+                    });
                 }
             }
             None => {
@@ -446,7 +481,8 @@ mod tests {
         // but no second echo of the same value.
         let out3 = ps[0].handle(ProcessId(3), Payload::Bv { round: 1, value: 1 });
         assert!(
-            out3.iter().all(|e| matches!(e.payload, Payload::Aux { .. })),
+            out3.iter()
+                .all(|e| matches!(e.payload, Payload::Aux { .. })),
             "{out3:?}"
         );
     }

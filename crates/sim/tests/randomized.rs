@@ -1,13 +1,23 @@
 //! Randomized system-level properties of the DBFT simulation.
 
 use holistic_sim::{
-    monitor, GoodRoundScheduler, Outcome, RandomScheduler, SimParams, Simulation,
+    monitor, FaultScheduleKind, GoodRoundScheduler, Outcome, RandomScheduler, Scenario, SimParams,
+    Simulation, StrategyKind,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
 
 fn proposals(n: usize) -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(0u8..=1, n)
+}
+
+/// Random well-parameterized systems: `f ≤ t < n/3`, n up to 10.
+fn small_system() -> impl Strategy<Value = SimParams> {
+    (4usize..=10).prop_flat_map(|n| {
+        (Just(n), 1usize..=(n - 1) / 3).prop_flat_map(|(n, t)| {
+            (Just(n), Just(t), 0usize..=t).prop_map(|(n, t, f)| SimParams { n, t, f })
+        })
+    })
 }
 
 proptest! {
@@ -68,5 +78,51 @@ proptest! {
         );
         let _ = sim.run(&mut sched, 150_000);
         prop_assert!(monitor::check_safety(&sim, &props[..5]).is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The full robustness matrix, sampled: any well-parameterized
+    /// system (`f ≤ t < n/3`), any Byzantine strategy, any fault
+    /// schedule — Agreement, Validity and BV-Justification hold.
+    #[test]
+    fn any_strategy_and_fault_schedule_preserve_safety(
+        params in small_system(),
+        strategy in prop::sample::select(StrategyKind::all().to_vec()),
+        faults in prop::sample::select(FaultScheduleKind::all().to_vec()),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut scenario = Scenario::new(params, strategy, faults, seed);
+        scenario.max_deliveries = 30_000;
+        let (_, report) = scenario.run();
+        prop_assert!(report.is_safe(), "{}: {:?}", report.label, report.violations);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Under the paper's fairness assumption (the good-round
+    /// scheduler) every strategy also admits Termination — Theorem 6
+    /// survives an *active* adversary, not just the silent one. (On a
+    /// reliable network; lossy schedules trade this for
+    /// retransmission-based liveness, probed by the scenario sweep.)
+    #[test]
+    fn any_strategy_terminates_under_fairness(
+        params in small_system(),
+        strategy in prop::sample::select(StrategyKind::all().to_vec()),
+        seed in 0u64..1_000,
+    ) {
+        let proposals: Vec<u8> =
+            (0..params.n).map(|i| ((i as u64 ^ seed) % 2) as u8).collect();
+        let mut sim = Simulation::new(params, &proposals);
+        let mut adv = strategy.build(seed, params);
+        let mut sched = GoodRoundScheduler::new();
+        let outcome = sim.run_with_adversary(&mut sched, adv.as_mut(), 2_000_000);
+        prop_assert_eq!(outcome, Outcome::AllDecided, "{} at {:?}", strategy.name(), params);
+        let correct = &proposals[..params.n - params.f];
+        prop_assert!(monitor::check_safety(&sim, correct).is_ok());
     }
 }

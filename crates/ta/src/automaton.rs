@@ -5,9 +5,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::expr::{
-    AtomicGuard, Guard, LocationId, ParamConstraint, ParamExpr, RuleId, VarId,
-};
+use crate::expr::{AtomicGuard, Guard, LocationId, ParamConstraint, ParamExpr, RuleId, VarId};
 
 /// A location (local state of a process).
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -162,7 +160,10 @@ impl ThresholdAutomaton {
 
     /// Looks a parameter up by name.
     pub fn param_by_name(&self, name: &str) -> Option<crate::ParamId> {
-        self.params.iter().position(|p| p == name).map(crate::ParamId)
+        self.params
+            .iter()
+            .position(|p| p == name)
+            .map(crate::ParamId)
     }
 
     /// Looks a rule up by name.
@@ -410,7 +411,12 @@ impl TaBuilder {
         self.add_location(name, false, true)
     }
 
-    fn add_location(&mut self, name: impl Into<String>, initial: bool, is_final: bool) -> LocationId {
+    fn add_location(
+        &mut self,
+        name: impl Into<String>,
+        initial: bool,
+        is_final: bool,
+    ) -> LocationId {
         self.ta.locations.push(Location {
             name: name.into(),
             initial,
@@ -445,10 +451,7 @@ impl TaBuilder {
             round_switch: false,
         });
         let idx = self.ta.rules.len() - 1;
-        RuleHandle {
-            builder: self,
-            idx,
-        }
+        RuleHandle { builder: self, idx }
     }
 
     /// Adds a guard-true self-loop on `loc` (stuttering), named
@@ -602,8 +605,12 @@ mod tests {
         let ta = diamond();
         assert!(ta.is_dag());
         let order = ta.topological_locations().unwrap();
-        let pos =
-            |name: &str| order.iter().position(|&l| ta.location_name(l) == name).unwrap();
+        let pos = |name: &str| {
+            order
+                .iter()
+                .position(|&l| ta.location_name(l) == name)
+                .unwrap()
+        };
         assert!(pos("V") < pos("A"));
         assert!(pos("V") < pos("B"));
         assert!(pos("A") < pos("D"));
@@ -681,7 +688,10 @@ mod tests {
             "r1",
             v,
             d,
-            Guard::atom(AtomicGuard::ge(VarExpr::term(x, -1), ParamExpr::constant(0))),
+            Guard::atom(AtomicGuard::ge(
+                VarExpr::term(x, -1),
+                ParamExpr::constant(0),
+            )),
         );
         assert_eq!(
             b.build().unwrap_err(),

@@ -333,14 +333,14 @@ impl Exploration {
     }
 
     /// Finds the first configuration satisfying a predicate.
-    pub fn find(&self, mut pred: impl FnMut(&Config) -> bool) -> Option<usize> {
-        self.configs.iter().position(|c| pred(c))
+    pub fn find(&self, pred: impl FnMut(&Config) -> bool) -> Option<usize> {
+        self.configs.iter().position(pred)
     }
 
     /// Whether every explored configuration satisfies the predicate.
     /// Only a proof if [`complete`](Exploration::complete) is true.
-    pub fn all(&self, mut pred: impl FnMut(&Config) -> bool) -> bool {
-        self.configs.iter().all(|c| pred(c))
+    pub fn all(&self, pred: impl FnMut(&Config) -> bool) -> bool {
+        self.configs.iter().all(pred)
     }
 
     /// The index of a configuration, if explored.
@@ -431,7 +431,9 @@ mod tests {
         assert!(ex.complete());
         let d = ta.location_by_name("D").unwrap();
         // All three processes can deliver.
-        let goal = ex.find(|c| c.count(d) == 3).expect("full delivery reachable");
+        let goal = ex
+            .find(|c| c.count(d) == 3)
+            .expect("full delivery reachable");
         let path = ex.path_to(goal);
         assert_eq!(path.len(), 7); // 3 sends + 3 delivers + initial
         assert!(path[0].0.is_none());

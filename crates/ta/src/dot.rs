@@ -68,7 +68,13 @@ pub fn to_dot(ta: &ThresholdAutomaton) -> String {
         if r.is_self_loop() {
             attrs.push("color=grey".to_owned());
         }
-        let _ = writeln!(out, "  L{} -> L{} [{}];", r.from.0, r.to.0, attrs.join(", "));
+        let _ = writeln!(
+            out,
+            "  L{} -> L{} [{}];",
+            r.from.0,
+            r.to.0,
+            attrs.join(", ")
+        );
     }
     let _ = writeln!(out, "}}");
     out
@@ -106,7 +112,10 @@ mod tests {
         assert!(dot.contains("digraph \"demo\""));
         assert!(dot.contains("doublecircle"), "initial marking missing");
         assert!(dot.contains("style=bold"), "final marking missing");
-        assert!(dot.contains("b0 >= 2t - f + 1"), "guard label missing: {dot}");
+        assert!(
+            dot.contains("b0 >= 2t - f + 1"),
+            "guard label missing: {dot}"
+        );
         assert!(dot.contains("b0++"), "update label missing");
         assert!(dot.contains("color=grey"), "self-loop styling missing");
     }

@@ -172,9 +172,7 @@ mod tests {
         assert!(two.location_by_name("V0'").is_some());
         let finals = two.final_locations();
         assert_eq!(finals.len(), 2);
-        assert!(finals
-            .iter()
-            .all(|&l| two.location_name(l).ends_with('\'')));
+        assert!(finals.iter().all(|&l| two.location_name(l).ends_with('\'')));
     }
 
     #[test]

@@ -33,9 +33,7 @@
 use std::fmt;
 
 use crate::automaton::{TaBuilder, ThresholdAutomaton, ValidationError};
-use crate::expr::{
-    AtomicGuard, Guard, GuardCmp, ParamCmp, ParamConstraint, ParamExpr, VarExpr,
-};
+use crate::expr::{AtomicGuard, Guard, GuardCmp, ParamCmp, ParamConstraint, ParamExpr, VarExpr};
 
 /// A parse failure, with a 1-based line number.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -448,35 +446,33 @@ pub fn parse_ta(src: &str) -> Result<ThresholdAutomaton, ParseError> {
                 }
                 p.expect(Tok::Semi)?;
             }
-            "resilience" => {
-                loop {
-                    let line = p.line();
-                    let is_param = |n: &str| names.params.iter().any(|q| q == n);
-                    let lhs = names.split_params(p.linear_expr(&is_param)?, line)?;
-                    let cmp = match p.next()? {
-                        Tok::Gt => ParamCmp::Gt,
-                        Tok::Ge => ParamCmp::Ge,
-                        Tok::EqEq => ParamCmp::Eq,
-                        Tok::Le => ParamCmp::Le,
-                        Tok::Lt => ParamCmp::Lt,
-                        other => {
-                            p.pos -= 1;
-                            return Err(p.error(format!("expected comparison, found `{other}`")));
-                        }
-                    };
-                    let line = p.line();
-                    let rhs = names.split_params(p.linear_expr(&is_param)?, line)?;
-                    builder.resilience(ParamConstraint::new(lhs, cmp, rhs));
-                    match p.next()? {
-                        Tok::Comma => continue,
-                        Tok::Semi => break,
-                        other => {
-                            p.pos -= 1;
-                            return Err(p.error(format!("expected `,` or `;`, found `{other}`")));
-                        }
+            "resilience" => loop {
+                let line = p.line();
+                let is_param = |n: &str| names.params.iter().any(|q| q == n);
+                let lhs = names.split_params(p.linear_expr(&is_param)?, line)?;
+                let cmp = match p.next()? {
+                    Tok::Gt => ParamCmp::Gt,
+                    Tok::Ge => ParamCmp::Ge,
+                    Tok::EqEq => ParamCmp::Eq,
+                    Tok::Le => ParamCmp::Le,
+                    Tok::Lt => ParamCmp::Lt,
+                    other => {
+                        p.pos -= 1;
+                        return Err(p.error(format!("expected comparison, found `{other}`")));
+                    }
+                };
+                let line = p.line();
+                let rhs = names.split_params(p.linear_expr(&is_param)?, line)?;
+                builder.resilience(ParamConstraint::new(lhs, cmp, rhs));
+                match p.next()? {
+                    Tok::Comma => continue,
+                    Tok::Semi => break,
+                    other => {
+                        p.pos -= 1;
+                        return Err(p.error(format!("expected `,` or `;`, found `{other}`")));
                     }
                 }
-            }
+            },
             "processes" => {
                 let line = p.line();
                 let is_param = |n: &str| names.params.iter().any(|q| q == n);
@@ -543,10 +539,12 @@ fn parse_rule(
     let from_name = p.ident()?;
     p.expect(Tok::Arrow)?;
     let to_name = p.ident()?;
-    let from = builder.peek_location(&from_name).ok_or_else(|| ParseError {
-        line: p.line(),
-        message: format!("unknown location `{from_name}`"),
-    })?;
+    let from = builder
+        .peek_location(&from_name)
+        .ok_or_else(|| ParseError {
+            line: p.line(),
+            message: format!("unknown location `{from_name}`"),
+        })?;
     let to = builder.peek_location(&to_name).ok_or_else(|| ParseError {
         line: p.line(),
         message: format!("unknown location `{to_name}`"),
@@ -571,9 +569,7 @@ fn parse_rule(
                 Tok::Lt => GuardCmp::Lt,
                 other => {
                     p.pos -= 1;
-                    return Err(p.error(format!(
-                        "expected `>=` or `<` in guard, found `{other}`"
-                    )));
+                    return Err(p.error(format!("expected `>=` or `<` in guard, found `{other}`")));
                 }
             };
             let line = p.line();
@@ -607,9 +603,7 @@ fn parse_rule(
                 Tok::Num(k) if k > 0 => k as u64,
                 other => {
                     p.pos -= 1;
-                    return Err(p.error(format!(
-                        "expected positive increment, found `{other}`"
-                    )));
+                    return Err(p.error(format!("expected positive increment, found `{other}`")));
                 }
             };
             updates.push((var, amount));

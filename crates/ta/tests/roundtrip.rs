@@ -20,7 +20,12 @@ fn ta_spec() -> impl Strategy<Value = TaSpec> {
             Just(num_locs),
             any::<bool>(),
             prop::collection::vec(
-                (0usize..num_locs - 1, 1usize..num_locs, 0u8..=3, any::<bool>()),
+                (
+                    0usize..num_locs - 1,
+                    1usize..num_locs,
+                    0u8..=3,
+                    any::<bool>(),
+                ),
                 1..=7,
             ),
             prop::collection::vec(any::<bool>(), num_locs),

@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {:<10} {:<9} {:>4} schemas  {:>9.2?}",
             r.name,
-            if r.verdict.is_verified() { "verified" } else { "FAILED" },
+            if r.verdict.is_verified() {
+                "verified"
+            } else {
+                "FAILED"
+            },
             r.schemas,
             r.duration
         );
@@ -35,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {:<10} {:<9} {:>4} schemas  {:>9.2?}",
             r.name,
-            if r.verdict.is_verified() { "verified" } else { "FAILED" },
+            if r.verdict.is_verified() {
+                "verified"
+            } else {
+                "FAILED"
+            },
             r.schemas,
             r.duration
         );

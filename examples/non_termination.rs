@@ -25,7 +25,11 @@ fn main() {
     );
     for p in sim.correct_ids() {
         let proc = sim.process(p);
-        println!("  {p}: round {}, estimate {}", proc.round(), proc.estimate());
+        println!(
+            "  {p}: round {}, estimate {}",
+            proc.round(),
+            proc.estimate()
+        );
     }
 
     // Safety is never violated — the adversary can only stall.

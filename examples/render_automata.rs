@@ -25,15 +25,21 @@ fn main() {
         "table1" => {
             let model = BvBroadcastModel::new();
             println!("Table 1 — the locations of correct processes (bv-broadcast)");
-            println!("{:<10} {:<18} {:<18}", "location", "values broadcast", "values delivered");
+            println!(
+                "{:<10} {:<18} {:<18}",
+                "location", "values broadcast", "values delivered"
+            );
             for row in model.location_table() {
-                println!("{:<10} {:<18} {:<18}", row.location, row.broadcast, row.delivered);
+                println!(
+                    "{:<10} {:<18} {:<18}",
+                    row.location, row.broadcast, row.delivered
+                );
             }
         }
         "table3" => {
             let model = NaiveConsensusModel::new();
             println!("Table 3 — the rules of the naive consensus automaton (Fig. 3)");
-            println!("{:<8} {:<28} {}", "rule", "guard", "update");
+            println!("{:<8} {:<28} update", "rule", "guard");
             for (name, guard, update) in model.rule_table() {
                 println!("{name:<8} {guard:<28} {update}");
             }

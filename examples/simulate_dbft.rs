@@ -17,7 +17,10 @@ fn main() {
     let proposals = [0, 1, 0, 1, 1, 0, 0]; // last f = 2 are Byzantine
     let correct_proposals = &proposals[..params.n - params.f];
 
-    println!("n = {}, t = {}, f = {} (Byzantine: p5, p6)", params.n, params.t, params.f);
+    println!(
+        "n = {}, t = {}, f = {} (Byzantine: p5, p6)",
+        params.n, params.t, params.f
+    );
     println!("correct proposals: {correct_proposals:?}");
     println!();
 

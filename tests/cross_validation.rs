@@ -40,9 +40,7 @@ fn random_ta(rng: &mut StdRng) -> ThresholdAutomaton {
     let num_locs = rng.gen_range(3..=5);
     let mut locs: Vec<LocationId> = Vec::new();
     for i in 0..num_locs {
-        locs.push(if i == 0 {
-            b.initial_location(format!("L{i}"))
-        } else if i == 1 && rng.gen_bool(0.5) {
+        locs.push(if i == 0 || (i == 1 && rng.gen_bool(0.5)) {
             b.initial_location(format!("L{i}"))
         } else if i == num_locs - 1 {
             b.final_location(format!("L{i}"))
@@ -122,7 +120,11 @@ fn safety_agrees_with_explicit_reachability() {
         }
         // Violations must come with consistent witness parameters.
         if let Verdict::Violated(ce) = &verdict {
-            assert!(ce.params[0] > 3 * ce.params[1], "seed {seed}: {:?}", ce.params);
+            assert!(
+                ce.params[0] > 3 * ce.params[1],
+                "seed {seed}: {:?}",
+                ce.params
+            );
             let last = ce.final_config();
             assert!(
                 ce.boundaries.iter().any(|c| c.counters[target.0] > 0)

@@ -83,7 +83,11 @@ fn bv_justification_for_value_one_also_verifies() {
     let model = BvBroadcastModel::new();
     let checker = Checker::new();
     let justice = model.justice();
-    for spec in [model.justification(1), model.obligation(1), model.uniformity(1)] {
+    for spec in [
+        model.justification(1),
+        model.obligation(1),
+        model.uniformity(1),
+    ] {
         let report = checker.check_ltl(&model.ta, &spec, &justice).unwrap();
         assert!(report.verdict().is_verified());
     }
@@ -97,7 +101,7 @@ fn broken_model_is_caught_not_misverified() {
     // broadcasts, not thresholds), but agreement-style counting breaks:
     // we check that the checker *finds* the broken-threshold violation
     // of uniformity rather than reporting Verified.
-    use holistic_verification::ta::{parse_ta};
+    use holistic_verification::ta::parse_ta;
     let src = r#"
         automaton broken_bv {
             params n, t, f;

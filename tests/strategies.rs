@@ -78,7 +78,9 @@ fn strategies_agree_on_a_violation() {
     let r2 = monolithic.check_ltl(&m.ta, &spec, &justice).unwrap();
     for (name, r) in [("enumerate", &r1), ("monolithic", &r2)] {
         let v = r.verdict();
-        let ce = v.counterexample().unwrap_or_else(|| panic!("{name} must violate"));
+        let ce = v
+            .counterexample()
+            .unwrap_or_else(|| panic!("{name} must violate"));
         // Both counterexamples reach C1 (the replay validated them).
         assert!(
             ce.boundaries.iter().any(|c| c.counters[c1.0] > 0),

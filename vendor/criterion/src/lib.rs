@@ -1,0 +1,156 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the bench targets use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, `black_box`, `criterion_group!`, `criterion_main!` —
+//! with a much simpler measurement model: each bench runs for a small
+//! fixed number of iterations and the mean wall-clock time is printed.
+//! No statistics, no HTML reports; enough to compare orders of
+//! magnitude and to keep `cargo bench` compiling offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped; accepted and ignored.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Measures one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, called `iters` times.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured iterations (criterion's sample
+    /// count; the stub uses it directly as the iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / b.iters as u32
+        };
+        println!("bench {}/{id}: {} iters, mean {mean:?}", self.name, b.iters);
+        self
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function, like `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, like
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

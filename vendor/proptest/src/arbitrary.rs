@@ -1,0 +1,45 @@
+//! `any::<T>()` — whole-type strategies.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-type strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The whole-type strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A uniform strategy over all of `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy for whole-type sampling via [`rand::Standard`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for StandardStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen::<T>()
+    }
+}
+
+macro_rules! impl_arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = StandardStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                StandardStrategy(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

@@ -1,0 +1,33 @@
+//! `prop::array` — fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `[S::Value; N]` from one element strategy.
+#[derive(Clone, Debug)]
+pub struct ArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.sample(rng))
+    }
+}
+
+/// An array of `N` independent samples of `element`.
+pub fn uniform<S: Strategy, const N: usize>(element: S) -> ArrayStrategy<S, N> {
+    ArrayStrategy { element }
+}
+
+macro_rules! uniform_n {
+    ($($fn_name:ident => $n:literal),*) => {$(
+        /// An array of independent samples of `element`.
+        pub fn $fn_name<S: Strategy>(element: S) -> ArrayStrategy<S, $n> {
+            ArrayStrategy { element }
+        }
+    )*};
+}
+uniform_n!(uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4, uniform5 => 5);

@@ -1,0 +1,29 @@
+//! `prop::sample` — choosing among fixed alternatives.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy drawing one element of a fixed vector uniformly.
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].clone()
+    }
+}
+
+/// One of the given values, uniformly.
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from empty set");
+    Select(options)
+}

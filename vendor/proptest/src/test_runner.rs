@@ -1,0 +1,170 @@
+//! The case runner: deterministic seeds, panic capture, failure
+//! reporting (no shrinking).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Runner configuration (`proptest::test_runner::ProptestConfig` subset).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // The real default is 256; the stub keeps it moderate because
+        // several call sites rely on the default for heavyweight cases.
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// A failed test case (the `Err` of a property body).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// FNV-1a, used to derive a per-test base seed from the test name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `config.cases` cases of the property `f`. Each case receives a
+/// deterministically seeded RNG; `f` returns the case description and
+/// the body's outcome. Panics (with seed and inputs) on the first
+/// failing case.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let base = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+        Err(_) => fnv1a(name.as_bytes()),
+    };
+    for case in 0..config.cases {
+        let seed = base
+            .wrapping_add(case as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut rng)));
+        match outcome {
+            Ok((_, Ok(()))) => {}
+            Ok((case_desc, Err(e))) => panic!(
+                "property {name} failed at case {case}/{} (seed {seed}): {e}\n  inputs: {case_desc}",
+                config.cases
+            ),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                panic!(
+                    "property {name} panicked at case {case}/{} (seed {seed}): {msg}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+trait NextU64Public {
+    fn next_u64_public(&mut self) -> u64;
+}
+
+#[cfg(test)]
+impl NextU64Public for TestRng {
+    fn next_u64_public(&mut self) -> u64 {
+        rand::RngCore::next_u64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_compose(
+            x in 0u8..=1,
+            n in 3usize..=6,
+            v in prop::collection::vec(0i64..10, 2..=5),
+        ) {
+            prop_assert!(x <= 1);
+            prop_assert!((3..=6).contains(&n));
+            prop_assert!((2..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| (0..10).contains(&e)));
+        }
+
+        #[test]
+        fn flat_map_and_just(
+            pair in (1usize..4).prop_flat_map(|n| (Just(n), prop::collection::vec(0u8..=1, n)))
+        ) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            run_cases(&ProptestConfig::with_cases(10), "always_fails", |_rng| {
+                ("x = 3; ".to_string(), Err(TestCaseError::fail("nope")))
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("x = 3"), "{msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        run_cases(&ProptestConfig::with_cases(5), "det", |rng| {
+            first.push(rng.next_u64_public());
+            (String::new(), Ok(()))
+        });
+        let mut second = Vec::new();
+        run_cases(&ProptestConfig::with_cases(5), "det", |rng| {
+            second.push(rng.next_u64_public());
+            (String::new(), Ok(()))
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,16 @@
+//! No-op derive macros for the offline `serde` stand-in: the workspace
+//! never serializes, so deriving expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; exists so `#[derive(Serialize)]` compiles.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; exists so `#[derive(Deserialize)]` compiles.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
