@@ -14,7 +14,8 @@
 use std::env;
 
 use holistic_bench::{bv_broadcast_rows, naive_rows, render, simplified_rows};
-use holistic_checker::Checker;
+use holistic_checker::{count_schedules, Checker, GuardInfo};
+use holistic_models::NaiveConsensusModel;
 
 fn main() {
     let args: Vec<String> = env::args().collect();
@@ -52,6 +53,15 @@ fn main() {
         );
         let naive = naive_rows(naive_cap);
         println!("{}", render(&naive));
+        // The raw lattice size behind those rows, via the
+        // allocation-free counting DFS (no SMT, no schedule storage).
+        let model = NaiveConsensusModel::new();
+        let info = GuardInfo::analyse(&model.ta).expect("naive TA guards analyse");
+        let (count, capped) = count_schedules(&info, 1_000_000);
+        println!(
+            "raw (unpruned) schedule lattice of the naive automaton: {}{count} schedules",
+            if capped { ">" } else { "" }
+        );
     } else {
         println!("(pass --naive to also run the naive-automaton explosion block)");
     }

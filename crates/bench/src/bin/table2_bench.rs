@@ -1,0 +1,317 @@
+//! Machine-readable Table 2 benchmark: emits `BENCH_table2.json`.
+//!
+//! ```text
+//! cargo run --release -p holistic-bench --bin table2_bench -- \
+//!     [--quick] [--iters N] [--threads N] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! Runs the full decomposed Table 2 matrix (bv-broadcast + simplified
+//! consensus, nine properties) and writes per-property wall time, schema
+//! counts, verdicts, SMT solver statistics, exploration-cache hit rates
+//! and the thread count as JSON — the repo's perf trajectory record.
+//!
+//! Each iteration uses a fresh checker, so the exploration cache starts
+//! cold and is shared across the properties of one matrix pass (the
+//! intended production shape); the per-property time is the minimum over
+//! iterations. `--quick` is a single pass for CI smoke use.
+//!
+//! With `--baseline PATH`, the run is compared against a previously
+//! emitted file: the process exits nonzero if any verdict changed or any
+//! property got more than 3x slower — a coarse gate that survives noisy
+//! CI machines while still catching catastrophic regressions.
+
+use std::env;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use holistic_bench::json::{escape, num, Json};
+use holistic_checker::{CheckReport, Checker, CheckerConfig, Verdict};
+use holistic_ltl::{Justice, Ltl};
+use holistic_models::{BvBroadcastModel, SimplifiedConsensusModel};
+use holistic_ta::ThresholdAutomaton;
+
+/// Factor by which a property may slow down vs the baseline before the
+/// comparison fails.
+const REGRESSION_FACTOR: f64 = 3.0;
+
+struct PropResult {
+    automaton: &'static str,
+    property: String,
+    verdict: &'static str,
+    schemas: usize,
+    avg_segments: f64,
+    /// Minimum wall time over iterations, in milliseconds.
+    wall_ms: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    replayed: bool,
+    threads: usize,
+    solver: holistic_lia::SolverStats,
+}
+
+fn verdict_name(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Verified => "verified",
+        Verdict::Violated(_) => "violated",
+        Verdict::Unknown(_) => "unknown",
+    }
+}
+
+fn run_block(
+    checker: &Checker,
+    automaton: &'static str,
+    ta: &ThresholdAutomaton,
+    specs: &[(&'static str, Ltl)],
+    justice: &Justice,
+) -> Vec<(String, CheckReport)> {
+    specs
+        .iter()
+        .map(|(name, spec)| {
+            let report = checker
+                .check_ltl(ta, spec, justice)
+                .unwrap_or_else(|e| panic!("{automaton}/{name}: {e}"));
+            (name.to_string(), report)
+        })
+        .collect()
+}
+
+/// One full pass over the decomposed matrix with a cold shared cache.
+fn run_matrix(threads: Option<usize>) -> Vec<(&'static str, String, CheckReport)> {
+    let checker = Checker::with_config(CheckerConfig {
+        threads,
+        ..CheckerConfig::default()
+    });
+    let mut out = Vec::new();
+    let bv = BvBroadcastModel::new();
+    let bv_justice = bv.justice();
+    for (name, report) in run_block(
+        &checker,
+        "bv-broadcast",
+        &bv.ta,
+        &bv.table2_specs(),
+        &bv_justice,
+    ) {
+        out.push(("bv-broadcast", name, report));
+    }
+    let sc = SimplifiedConsensusModel::new();
+    let sc_justice = sc.justice();
+    for (name, report) in run_block(
+        &checker,
+        "simplified-consensus",
+        &sc.ta,
+        &sc.table2_specs(),
+        &sc_justice,
+    ) {
+        out.push(("simplified-consensus", name, report));
+    }
+    out
+}
+
+fn emit(results: &[PropResult], iters: usize, baseline: Option<(&str, f64, f64)>) -> String {
+    let total_ms: f64 = results.iter().map(|r| r.wall_ms).sum();
+    let threads = results.first().map_or(1, |r| r.threads);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"generated_by\": \"table2_bench\",");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"iters\": {iters},");
+    let _ = writeln!(out, "  \"total_wall_ms\": {},", num(total_ms));
+    if let Some((file, base_ms, speedup)) = baseline {
+        let _ = writeln!(out, "  \"baseline_file\": \"{}\",", escape(file));
+        let _ = writeln!(out, "  \"baseline_total_wall_ms\": {},", num(base_ms));
+        let _ = writeln!(out, "  \"speedup_vs_baseline\": {},", num(speedup));
+    }
+    out.push_str("  \"properties\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let hit_rate = if r.cache_hits + r.cache_misses > 0 {
+            r.cache_hits as f64 / (r.cache_hits + r.cache_misses) as f64
+        } else {
+            0.0
+        };
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"automaton\": \"{}\",", escape(r.automaton));
+        let _ = writeln!(out, "      \"property\": \"{}\",", escape(&r.property));
+        let _ = writeln!(out, "      \"verdict\": \"{}\",", r.verdict);
+        let _ = writeln!(out, "      \"schemas\": {},", r.schemas);
+        let _ = writeln!(out, "      \"avg_segments\": {},", num(r.avg_segments));
+        let _ = writeln!(out, "      \"wall_ms\": {},", num(r.wall_ms));
+        let _ = writeln!(out, "      \"cache_hits\": {},", r.cache_hits);
+        let _ = writeln!(out, "      \"cache_misses\": {},", r.cache_misses);
+        let _ = writeln!(out, "      \"cache_hit_rate\": {},", num(hit_rate));
+        let _ = writeln!(out, "      \"replayed\": {},", r.replayed);
+        out.push_str("      \"solver\": {\n");
+        let s = &r.solver;
+        let _ = writeln!(out, "        \"checks\": {},", s.checks);
+        let _ = writeln!(out, "        \"branch_nodes\": {},", s.branch_nodes);
+        let _ = writeln!(out, "        \"case_splits\": {},", s.case_splits);
+        let _ = writeln!(out, "        \"pivots\": {},", s.pivots);
+        let _ = writeln!(out, "        \"intern_hits\": {},", s.intern_hits);
+        let _ = writeln!(out, "        \"intern_misses\": {}", s.intern_misses);
+        out.push_str("      }\n");
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Compares this run against a baseline document. Returns the list of
+/// failures (empty means the gate passes).
+fn compare(results: &[PropResult], baseline: &Json) -> (Vec<String>, f64) {
+    let mut failures = Vec::new();
+    let empty: &[Json] = &[];
+    let rows = baseline
+        .get("properties")
+        .and_then(|p| p.as_array())
+        .unwrap_or(empty);
+    let mut base_total = 0.0;
+    for r in results {
+        let Some(base) = rows.iter().find(|row| {
+            row.get("automaton").and_then(Json::as_str) == Some(r.automaton)
+                && row.get("property").and_then(Json::as_str) == Some(r.property.as_str())
+        }) else {
+            failures.push(format!(
+                "{}/{}: missing from baseline",
+                r.automaton, r.property
+            ));
+            continue;
+        };
+        let base_verdict = base.get("verdict").and_then(Json::as_str).unwrap_or("?");
+        if base_verdict != r.verdict {
+            failures.push(format!(
+                "{}/{}: verdict changed: {} -> {}",
+                r.automaton, r.property, base_verdict, r.verdict
+            ));
+        }
+        let base_ms = base
+            .get("wall_ms")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::INFINITY);
+        base_total += base_ms;
+        if r.wall_ms > REGRESSION_FACTOR * base_ms {
+            failures.push(format!(
+                "{}/{}: {:.0} ms vs baseline {:.0} ms (> {REGRESSION_FACTOR}x regression)",
+                r.automaton, r.property, r.wall_ms, base_ms
+            ));
+        }
+    }
+    (failures, base_total)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let iters: usize = flag_value("--iters")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 1 } else { 3 });
+    let threads: Option<usize> = flag_value("--threads").and_then(|s| s.parse().ok());
+    let out_path = flag_value("--out").map_or("BENCH_table2.json", String::as_str);
+    let baseline_path = flag_value("--baseline").map(String::as_str);
+
+    // Read the baseline up front: `--out` may point at the same file.
+    let baseline = baseline_path.map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"))
+    });
+
+    eprintln!(
+        "table2_bench: {iters} iteration(s), threads={}",
+        threads.map_or("auto".to_owned(), |t| t.to_string())
+    );
+    let mut results: Vec<PropResult> = Vec::new();
+    for iter in 0..iters {
+        let pass = run_matrix(threads);
+        for (idx, (automaton, property, report)) in pass.into_iter().enumerate() {
+            let wall_ms = report.duration.as_secs_f64() * 1e3;
+            if iter == 0 {
+                let stats_threads = report.queries.first().map_or(1, |q| q.stats.threads);
+                results.push(PropResult {
+                    automaton,
+                    property: property.clone(),
+                    verdict: verdict_name(&report.verdict()),
+                    schemas: report.total_schemas(),
+                    avg_segments: report.avg_segments(),
+                    wall_ms,
+                    cache_hits: report.total_cache_hits(),
+                    cache_misses: report.total_cache_misses(),
+                    replayed: report.queries.iter().all(|q| q.stats.replayed)
+                        && !report.queries.is_empty(),
+                    threads: stats_threads,
+                    solver: report.solver_stats(),
+                });
+                eprintln!(
+                    "  {automaton}/{property}: {} in {:.2?} ({} schemas, {} cache hits)",
+                    verdict_name(&report.verdict()),
+                    report.duration,
+                    report.total_schemas(),
+                    report.total_cache_hits(),
+                );
+            } else {
+                let slot = &mut results[idx];
+                assert_eq!(slot.property, property, "iteration order must be stable");
+                assert_eq!(
+                    slot.verdict,
+                    verdict_name(&report.verdict()),
+                    "{automaton}/{property}: verdict must not vary across iterations"
+                );
+                if wall_ms < slot.wall_ms {
+                    slot.wall_ms = wall_ms;
+                }
+            }
+        }
+        let total: f64 = results.iter().map(|r| r.wall_ms).sum();
+        eprintln!(
+            "  pass {}/{iters} done; best-total {:.1?}",
+            iter + 1,
+            Duration::from_secs_f64(total / 1e3)
+        );
+    }
+
+    let comparison = baseline.as_ref().map(|b| compare(&results, b));
+    let baseline_block = comparison.as_ref().and_then(|(_, base_total)| {
+        let total: f64 = results.iter().map(|r| r.wall_ms).sum();
+        (*base_total > 0.0).then(|| {
+            (
+                baseline_path.unwrap(),
+                *base_total,
+                *base_total / total.max(f64::MIN_POSITIVE),
+            )
+        })
+    });
+
+    let doc = emit(&results, iters, baseline_block);
+    std::fs::write(out_path, &doc).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+
+    if let Some((failures, base_total)) = comparison {
+        let total: f64 = results.iter().map(|r| r.wall_ms).sum();
+        eprintln!(
+            "baseline total {:.1?} -> current total {:.1?} ({:.2}x)",
+            Duration::from_secs_f64(base_total / 1e3),
+            Duration::from_secs_f64(total / 1e3),
+            base_total / total.max(f64::MIN_POSITIVE),
+        );
+        if !failures.is_empty() {
+            eprintln!("BASELINE COMPARISON FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "baseline comparison passed (verdicts stable, no >{REGRESSION_FACTOR}x regression)"
+        );
+    }
+    ExitCode::SUCCESS
+}

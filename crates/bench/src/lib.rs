@@ -13,6 +13,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod json;
+
 use std::time::Duration;
 
 use holistic_checker::{Checker, CheckerConfig, Strategy, Verdict};

@@ -1,14 +1,17 @@
 //! The parameterized model checker: public API and strategy driver.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use holistic_lia::{SatResult, SolverConfig};
+use holistic_lia::{SatResult, SolverConfig, SolverStats};
 use holistic_ltl::{classify, stability, FragmentError, Justice, Ltl, Prop, Query};
 use holistic_ta::{LocationId, ThresholdAutomaton, ValidationError};
 
 use crate::counterexample::{Counterexample, ReplayError};
 use crate::encode::{Encoding, SegmentKind};
+use crate::explore::{Exploration, ExplorationCache, ExplorationKey, Recorder};
 use crate::guards::{GuardError, GuardInfo};
 
 /// How schemas are generated for the SMT backend.
@@ -61,6 +64,16 @@ pub struct CheckerConfig {
     pub solver: SolverConfig,
     /// Strategy selection.
     pub strategy: Strategy,
+    /// Worker threads for the schedule DFS. `None` (the default) uses
+    /// [`std::thread::available_parallelism`]; `Some(1)` runs fully
+    /// sequential (and byte-deterministic) with no worker pool.
+    pub threads: Option<usize>,
+    /// Whether queries share a process-wide exploration cache (see
+    /// [`crate::explore`]): identical base encodings are *replayed*
+    /// instead of re-explored and weaker recorded bases prune infeasible
+    /// subtrees. `false` restores fully independent per-property DFS
+    /// (used by the equivalence tests).
+    pub share_exploration: bool,
 }
 
 impl Default for CheckerConfig {
@@ -70,6 +83,8 @@ impl Default for CheckerConfig {
             time_budget: None,
             solver: SolverConfig::default(),
             strategy: Strategy::Auto,
+            threads: None,
+            share_exploration: true,
         }
     }
 }
@@ -123,6 +138,20 @@ pub struct QueryStats {
     pub timed_out: bool,
     /// The strategy actually used.
     pub strategy: Strategy,
+    /// Cumulative SMT solver statistics (summed over worker threads;
+    /// the sum is deterministic regardless of scheduling).
+    pub solver: SolverStats,
+    /// Lattice nodes whose feasibility verdict was answered by the
+    /// exploration cache (replayed or pruned) instead of an SMT check.
+    pub cache_hits: u64,
+    /// Lattice nodes whose feasibility was decided by a fresh SMT
+    /// check.
+    pub cache_misses: u64,
+    /// Whether the whole feasible frontier was replayed from the cache
+    /// (no feasibility checks at all).
+    pub replayed: bool,
+    /// Worker threads used by the schedule DFS.
+    pub threads: usize,
 }
 
 /// The outcome of checking a single [`Query`].
@@ -176,6 +205,25 @@ impl CheckReport {
             .map(|q| q.stats.avg_segments)
             .sum::<f64>()
             / self.queries.len() as f64
+    }
+
+    /// Total exploration-cache hits across queries.
+    pub fn total_cache_hits(&self) -> u64 {
+        self.queries.iter().map(|q| q.stats.cache_hits).sum()
+    }
+
+    /// Total exploration-cache misses (fresh feasibility checks).
+    pub fn total_cache_misses(&self) -> u64 {
+        self.queries.iter().map(|q| q.stats.cache_misses).sum()
+    }
+
+    /// Cumulative solver statistics across queries.
+    pub fn solver_stats(&self) -> SolverStats {
+        let mut s = SolverStats::default();
+        for q in &self.queries {
+            s.merge(&q.stats.solver);
+        }
+        s
     }
 }
 
@@ -269,6 +317,10 @@ impl From<ReplayError> for CheckError {
 #[derive(Clone, Debug, Default)]
 pub struct Checker {
     config: CheckerConfig,
+    /// Cross-property exploration cache; clones share it, so checking
+    /// several properties through clones of one checker still reuses
+    /// recorded explorations.
+    cache: Arc<ExplorationCache>,
 }
 
 impl Checker {
@@ -279,12 +331,20 @@ impl Checker {
 
     /// A checker with explicit configuration.
     pub fn with_config(config: CheckerConfig) -> Checker {
-        Checker { config }
+        Checker {
+            config,
+            cache: Arc::new(ExplorationCache::new()),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &CheckerConfig {
         &self.config
+    }
+
+    /// The number of recorded explorations in the shared cache.
+    pub fn cached_explorations(&self) -> usize {
+        self.cache.len()
     }
 
     /// Checks an LTL property of the automaton for **all** parameter
@@ -363,10 +423,30 @@ impl Checker {
         }
     }
 
+    /// Resolves the worker-thread count for the schedule DFS.
+    fn thread_count(&self) -> usize {
+        self.config
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1)
+    }
+
     /// Depth-first schedule exploration with incremental feasibility
     /// pruning: a schedule prefix whose base constraints are already
     /// unsatisfiable cannot support any extension (extensions only add
     /// constraints), so its whole subtree is skipped.
+    ///
+    /// With [`CheckerConfig::share_exploration`] on, feasibility
+    /// verdicts flow through the cross-property [`ExplorationCache`]:
+    /// an identical base encoding is *replayed* (no feasibility checks
+    /// at all), a weaker recorded base *prunes* infeasible subtrees,
+    /// and when neither exists a *skeleton* exploration of the weakest
+    /// base is recorded first so every later property of the automaton
+    /// has something to hit.
     fn run_dfs(
         &self,
         ta: &ThresholdAutomaton,
@@ -375,34 +455,113 @@ impl Checker {
         start: Instant,
         deadline: Option<Instant>,
     ) -> Result<QueryReport, CheckError> {
-        let mut enc = Encoding::new(ta, info, &plan.globally_empty, self.config.solver);
-        enc.assert_prop_at(&plan.initially, 0);
         let copies = plan.witnesses.len() + 1;
+        let key = ExplorationKey::new(ta, &plan.globally_empty, &plan.initially, copies);
+        let mode = if self.config.share_exploration {
+            if let Some(exp) = self.cache.replayable(&key) {
+                CacheMode::Replay(exp)
+            } else {
+                let mut pruner = self.cache.pruner_for(&key);
+                if pruner.is_none() && !key.is_skeleton() {
+                    // Nothing recorded for this automaton yet: explore
+                    // the weakest base once (no query checks) so this
+                    // and every later property can prune against it.
+                    // Shares the query's deadline; a truncated skeleton
+                    // still prunes, it just isn't replayable.
+                    let trivially = Prop::True;
+                    let spec = ExploreSpec {
+                        ta,
+                        info,
+                        globally_empty: &[],
+                        initially: &trivially,
+                        query: None,
+                        copies,
+                        deadline,
+                        mode: CacheMode::Record { pruner: None },
+                    };
+                    let out = self.explore(&spec)?;
+                    let covered = out.fully_covered();
+                    self.cache
+                        .insert(out.recorder.finish(key.skeleton(), covered));
+                    pruner = self.cache.pruner_for(&key);
+                }
+                CacheMode::Record { pruner }
+            }
+        } else {
+            CacheMode::Off
+        };
+        let replayed = matches!(mode, CacheMode::Replay(_));
+        let record = matches!(mode, CacheMode::Record { .. });
+        let spec = ExploreSpec {
+            ta,
+            info,
+            globally_empty: &plan.globally_empty,
+            initially: &plan.initially,
+            query: Some(plan),
+            copies,
+            deadline,
+            mode,
+        };
+        let out = self.explore(&spec)?;
+        if record {
+            let covered = out.fully_covered();
+            self.cache.insert(out.recorder.finish(key, covered));
+        }
 
+        let stats = QueryStats {
+            schemas: out.schemas,
+            avg_segments: if out.schemas == 0 {
+                0.0
+            } else {
+                out.total_segments as f64 / out.schemas as f64
+            },
+            duration: start.elapsed(),
+            capped: out.capped,
+            timed_out: out.timed_out,
+            strategy: Strategy::Enumerate,
+            solver: out.solver,
+            cache_hits: out.cache_hits,
+            cache_misses: out.cache_misses,
+            replayed,
+            threads: out.threads,
+        };
+        let verdict = if let Some((_, ce)) = out.violation {
+            // A violation found before the budget ran out is still a
+            // violation: time pressure never weakens a verdict we have.
+            Verdict::Violated(Box::new(ce))
+        } else if out.timed_out {
+            Verdict::Unknown(format!(
+                "time budget of {:?} exhausted after {} schemas",
+                self.config.time_budget.unwrap_or_default(),
+                out.schemas
+            ))
+        } else if out.capped {
+            Verdict::Unknown(format!(
+                "schedule DFS exceeded the cap of {} schemas",
+                self.config.max_schemas
+            ))
+        } else if let Some(reason) = out.unknown {
+            Verdict::Unknown(reason)
+        } else {
+            Verdict::Verified
+        };
+        Ok(QueryReport { verdict, stats })
+    }
+
+    /// Runs one lattice exploration (skeleton or full query) over the
+    /// work-stealing pool and merges the per-worker outcomes
+    /// deterministically.
+    fn explore(&self, spec: &ExploreSpec<'_>) -> Result<ExploreOutcome, CheckError> {
+        let info = spec.info;
         let full: u64 = if info.len() >= 64 {
             u64::MAX
         } else {
             (1u64 << info.len()) - 1
         };
-        let mut dfs = Dfs {
-            checker: self,
-            ta,
-            info,
-            plan,
-            copies,
-            full,
-            deadline,
-            schemas: 0,
-            total_segments: 0,
-            capped: false,
-            timed_out: false,
-            violation: None,
-            unknown: None,
-            frontier: Vec::new(),
-        };
+        let threads = self.thread_count();
 
         // Initial contexts: closed subsets of the initially-possible
-        // guards (usually just ∅).
+        // guards (usually just ∅), seeded in canonical ascending order.
         let mut initial_contexts = Vec::new();
         let universe = info.initially_possible;
         let mut sub = universe;
@@ -416,140 +575,87 @@ impl Checker {
             sub = (sub - 1) & universe;
         }
         initial_contexts.sort_unstable();
+        // The queue is a LIFO stack; push seeds reversed so they are
+        // taken in ascending order.
+        let seeds: Vec<Vec<u64>> = initial_contexts.iter().rev().map(|&c| vec![c]).collect();
 
-        for &c0 in &initial_contexts {
-            enc.push_segments(SegmentKind::Fixed(c0), copies);
-            dfs.recurse(&mut enc, c0, 0)?;
-            enc.pop_segments();
-            if dfs.violation.is_some() || dfs.capped || dfs.timed_out {
-                break;
-            }
-        }
+        let ex = Explore {
+            checker: self,
+            spec,
+            full,
+            threads,
+            schemas: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            pending: AtomicUsize::new(seeds.len()),
+            idle: AtomicUsize::new(0),
+            queue: Mutex::new(seeds),
+            available: Condvar::new(),
+            error: Mutex::new(None),
+        };
 
-        // Drain the parallel frontier: subtrees cut off at depth
-        // PARALLEL_DEPTH are explored by worker threads, each with its
-        // own encoding.
-        if dfs.violation.is_none() && !dfs.capped && !dfs.timed_out && !dfs.frontier.is_empty() {
-            let frontier = std::mem::take(&mut dfs.frontier);
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(frontier.len());
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let stop = std::sync::atomic::AtomicBool::new(false);
-            let results: std::sync::Mutex<Vec<Dfs<'_>>> = std::sync::Mutex::new(Vec::new());
-            let next_ref = &next;
-            let stop_ref = &stop;
-            let results_ref = &results;
-            let frontier_ref = &frontier;
-            let plan_ref = plan;
-            let checker = self;
+        let mut workers: Vec<Worker<'_>> = Vec::with_capacity(threads);
+        if threads == 1 {
+            // Fully sequential: no pool, byte-deterministic.
+            let mut w = Worker::new(&ex);
+            w.run();
+            workers.push(w);
+        } else {
             std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(move || {
-                        let mut worker = Dfs {
-                            checker,
-                            ta,
-                            info,
-                            plan: plan_ref,
-                            copies,
-                            full,
-                            deadline,
-                            schemas: 0,
-                            total_segments: 0,
-                            capped: false,
-                            timed_out: false,
-                            violation: None,
-                            unknown: None,
-                            frontier: Vec::new(),
-                        };
-                        let mut enc = Encoding::new(
-                            ta,
-                            info,
-                            &plan_ref.globally_empty,
-                            checker.config.solver,
-                        );
-                        enc.assert_prop_at(&plan_ref.initially, 0);
-                        loop {
-                            let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= frontier_ref.len()
-                                || stop_ref.load(std::sync::atomic::Ordering::Relaxed)
-                            {
-                                break;
-                            }
-                            let prefix = &frontier_ref[i];
-                            for &ctx in prefix {
-                                enc.push_segments(SegmentKind::Fixed(ctx), copies);
-                            }
-                            // Workers never re-split: depth starts past
-                            // the split threshold.
-                            let r = worker.recurse(&mut enc, *prefix.last().unwrap(), usize::MAX);
-                            for _ in prefix {
-                                enc.pop_segments();
-                            }
-                            if r.is_err()
-                                || worker.violation.is_some()
-                                || worker.capped
-                                || worker.timed_out
-                            {
-                                stop_ref.store(true, std::sync::atomic::Ordering::Relaxed);
-                                if let Err(e) = r {
-                                    worker.unknown.get_or_insert(format!("worker error: {e}"));
-                                }
-                                break;
-                            }
-                        }
-                        results_ref.lock().unwrap().push(worker);
-                    });
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut w = Worker::new(&ex);
+                            w.run();
+                            w
+                        })
+                    })
+                    .collect();
+                // Joining in spawn order keeps the merge deterministic
+                // for everything summed; order-sensitive fields are
+                // canonicalized below.
+                for h in handles {
+                    workers.push(h.join().expect("exploration worker panicked"));
                 }
             });
-            for w in results.into_inner().unwrap() {
-                dfs.schemas += w.schemas;
-                dfs.total_segments += w.total_segments;
-                dfs.capped |= w.capped;
-                dfs.timed_out |= w.timed_out;
-                if dfs.violation.is_none() {
-                    dfs.violation = w.violation;
-                }
-                if dfs.unknown.is_none() {
-                    dfs.unknown = w.unknown;
-                }
-            }
+        }
+        if let Some(e) = ex.error.lock().unwrap().take() {
+            return Err(e);
         }
 
-        let stats = QueryStats {
-            schemas: dfs.schemas,
-            avg_segments: if dfs.schemas == 0 {
-                0.0
-            } else {
-                dfs.total_segments as f64 / dfs.schemas as f64
-            },
-            duration: start.elapsed(),
-            capped: dfs.capped,
-            timed_out: dfs.timed_out,
-            strategy: Strategy::Enumerate,
+        let mut out = ExploreOutcome {
+            schemas: 0,
+            total_segments: 0,
+            capped: false,
+            timed_out: false,
+            violation: None,
+            unknown: None,
+            cache_hits: 0,
+            cache_misses: 0,
+            solver: SolverStats::default(),
+            recorder: Recorder::new(),
+            threads,
         };
-        let verdict = if let Some(ce) = dfs.violation {
-            // A violation found before the budget ran out is still a
-            // violation: time pressure never weakens a verdict we have.
-            Verdict::Violated(Box::new(ce))
-        } else if dfs.timed_out {
-            Verdict::Unknown(format!(
-                "time budget of {:?} exhausted after {} schemas",
-                self.config.time_budget.unwrap_or_default(),
-                dfs.schemas
-            ))
-        } else if dfs.capped {
-            Verdict::Unknown(format!(
-                "schedule DFS exceeded the cap of {} schemas",
-                self.config.max_schemas
-            ))
-        } else if let Some(reason) = dfs.unknown {
-            Verdict::Unknown(reason)
-        } else {
-            Verdict::Verified
-        };
-        Ok(QueryReport { verdict, stats })
+        for w in workers {
+            out.schemas += w.schemas;
+            out.total_segments += w.total_segments;
+            out.capped |= w.capped;
+            out.timed_out |= w.timed_out;
+            out.cache_hits += w.cache_hits;
+            out.cache_misses += w.cache_misses;
+            out.solver.merge(&w.solver);
+            out.recorder.merge(w.recorder);
+            // Canonical violation: the chain earliest in DFS preorder
+            // wins, regardless of which worker found it first.
+            match (&out.violation, w.violation) {
+                (None, Some(v)) => out.violation = Some(v),
+                (Some(cur), Some(v)) if v.0 < cur.0 => out.violation = Some(v),
+                _ => {}
+            }
+            if out.unknown.is_none() {
+                out.unknown = w.unknown;
+            }
+        }
+        Ok(out)
     }
 
     fn run_monolithic(
@@ -576,6 +682,11 @@ impl Checker {
                     capped: false,
                     timed_out: true,
                     strategy: Strategy::Monolithic,
+                    solver: SolverStats::default(),
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    replayed: false,
+                    threads: 1,
                 },
             });
         }
@@ -598,6 +709,11 @@ impl Checker {
             capped: false,
             timed_out: false,
             strategy: Strategy::Monolithic,
+            solver: enc.solver_stats(),
+            cache_hits: 0,
+            cache_misses: 0,
+            replayed: false,
+            threads: 1,
         };
         let verdict = match result {
             SatResult::Sat(model) => {
@@ -611,39 +727,246 @@ impl Checker {
     }
 }
 
-struct Dfs<'a> {
-    checker: &'a Checker,
+/// How feasibility verdicts interact with the exploration cache during
+/// one lattice exploration.
+enum CacheMode {
+    /// No cache: every verdict is a fresh SMT check.
+    Off,
+    /// Fresh exploration, recorded for later queries; an optional
+    /// weaker recorded base prunes infeasible subtrees.
+    Record { pruner: Option<Arc<Exploration>> },
+    /// A complete recording under the identical key: feasibility is
+    /// answered entirely from it.
+    Replay(Arc<Exploration>),
+}
+
+/// Everything one lattice exploration needs, bundled.
+struct ExploreSpec<'a> {
     ta: &'a ThresholdAutomaton,
     info: &'a GuardInfo,
-    plan: &'a QueryPlan,
+    globally_empty: &'a [LocationId],
+    initially: &'a Prop,
+    /// `None` runs a skeleton pass: feasibility only, no per-prefix
+    /// query checks.
+    query: Option<&'a QueryPlan>,
     copies: usize,
-    full: u64,
     deadline: Option<Instant>,
+    mode: CacheMode,
+}
+
+/// Shared state of one exploration's work-stealing pool.
+struct Explore<'a> {
+    checker: &'a Checker,
+    spec: &'a ExploreSpec<'a>,
+    full: u64,
+    threads: usize,
+    /// Global schema counter (the cap is a property of the whole
+    /// exploration, not of one worker).
+    schemas: AtomicUsize,
+    stop: AtomicBool,
+    /// Tasks queued *or running*; when it reaches zero the exploration
+    /// is drained.
+    pending: AtomicUsize,
+    /// Workers currently waiting for work — the signal that makes busy
+    /// workers donate subtrees instead of recursing into them.
+    idle: AtomicUsize,
+    /// Pending subtree roots (context chains), LIFO.
+    queue: Mutex<Vec<Vec<u64>>>,
+    available: Condvar,
+    error: Mutex<Option<CheckError>>,
+}
+
+/// Merged result of one exploration.
+struct ExploreOutcome {
     schemas: usize,
     total_segments: usize,
     capped: bool,
     timed_out: bool,
-    violation: Option<Counterexample>,
+    violation: Option<(Vec<u64>, Counterexample)>,
     unknown: Option<String>,
-    /// Subtree roots deferred to the worker pool (context prefixes,
-    /// excluding the synthetic root).
-    frontier: Vec<Vec<u64>>,
+    cache_hits: u64,
+    cache_misses: u64,
+    solver: SolverStats,
+    recorder: Recorder,
+    threads: usize,
 }
 
-impl Dfs<'_> {
-    /// Depth at which subtrees are deferred to the parallel frontier.
-    const PARALLEL_DEPTH: usize = 2;
+impl ExploreOutcome {
+    /// Whether the whole lattice received definite feasibility verdicts
+    /// (nothing stopped the exploration early) — the precondition for a
+    /// replayable recording.
+    fn fully_covered(&self) -> bool {
+        self.violation.is_none() && !self.capped && !self.timed_out
+    }
+}
 
-    /// Precondition: `enc` holds the segments of the current prefix,
-    /// whose last context is `ctx`. `depth` counts context steps from
-    /// the initial context.
-    fn recurse(
-        &mut self,
-        enc: &mut Encoding<'_>,
-        ctx: u64,
-        depth: usize,
-    ) -> Result<(), CheckError> {
-        if self.schemas >= self.checker.config.max_schemas {
+/// One worker of the exploration pool: owns its encoding, statistics,
+/// and recording; everything is merged after the pool drains.
+struct Worker<'a> {
+    ex: &'a Explore<'a>,
+    schemas: usize,
+    total_segments: usize,
+    capped: bool,
+    timed_out: bool,
+    violation: Option<(Vec<u64>, Counterexample)>,
+    unknown: Option<String>,
+    cache_hits: u64,
+    cache_misses: u64,
+    recorder: Recorder,
+    solver: SolverStats,
+}
+
+impl<'a> Worker<'a> {
+    fn new(ex: &'a Explore<'a>) -> Worker<'a> {
+        Worker {
+            ex,
+            schemas: 0,
+            total_segments: 0,
+            capped: false,
+            timed_out: false,
+            violation: None,
+            unknown: None,
+            cache_hits: 0,
+            cache_misses: 0,
+            recorder: Recorder::new(),
+            solver: SolverStats::default(),
+        }
+    }
+
+    /// The worker main loop: steal a subtree root, rebuild the prefix,
+    /// explore it depth-first (donating sub-subtrees whenever other
+    /// workers go hungry), repeat until the lattice is drained or the
+    /// exploration stops.
+    fn run(&mut self) {
+        let ex = self.ex;
+        let spec = ex.spec;
+        let mut enc = Encoding::new(
+            spec.ta,
+            spec.info,
+            spec.globally_empty,
+            ex.checker.config.solver,
+        );
+        enc.assert_prop_at(spec.initially, 0);
+        let mut chain: Vec<u64> = Vec::new();
+        while let Some(prefix) = self.next_task() {
+            for &ctx in &prefix {
+                enc.push_segments(SegmentKind::Fixed(ctx), spec.copies);
+            }
+            chain.clear();
+            chain.extend_from_slice(&prefix);
+            let r = self.recurse(&mut enc, &mut chain);
+            for _ in &prefix {
+                enc.pop_segments();
+            }
+            if let Err(e) = r {
+                ex.error.lock().unwrap().get_or_insert(e);
+                ex.stop.store(true, Ordering::SeqCst);
+            }
+            if self.violation.is_some() || self.capped || self.timed_out {
+                ex.stop.store(true, Ordering::SeqCst);
+            }
+            let drained = ex.pending.fetch_sub(1, Ordering::SeqCst) == 1;
+            if drained || ex.stop.load(Ordering::SeqCst) {
+                // Wake everyone so idle workers can exit.
+                let _guard = ex.queue.lock().unwrap();
+                ex.available.notify_all();
+            }
+        }
+        self.solver = enc.solver_stats();
+    }
+
+    /// Blocks until a task is available, the exploration stops, or the
+    /// lattice is drained (queue empty with nothing running).
+    fn next_task(&self) -> Option<Vec<u64>> {
+        let ex = self.ex;
+        let mut queue = ex.queue.lock().unwrap();
+        loop {
+            if ex.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(t) = queue.pop() {
+                return Some(t);
+            }
+            if ex.pending.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            ex.idle.fetch_add(1, Ordering::SeqCst);
+            queue = ex.available.wait(queue).unwrap();
+            ex.idle.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Hands a subtree root to the pool instead of recursing into it.
+    fn donate(&self, chain: &[u64]) {
+        let ex = self.ex;
+        ex.pending.fetch_add(1, Ordering::SeqCst);
+        let mut queue = ex.queue.lock().unwrap();
+        queue.push(chain.to_vec());
+        ex.available.notify_one();
+    }
+
+    /// Resolves this prefix's feasibility: exploration cache first,
+    /// fresh SMT check otherwise. Returns whether to keep exploring
+    /// (feasible, or unknown — which cannot justify pruning).
+    fn feasibility(&mut self, enc: &mut Encoding<'_>, chain: &[u64]) -> bool {
+        match &self.ex.spec.mode {
+            CacheMode::Replay(exp) => match exp.verdict(chain) {
+                Some(f) => {
+                    self.cache_hits += 1;
+                    f
+                }
+                // Complete recordings cover every reachable chain, but
+                // fall back safely rather than trust that invariant.
+                None => self.smt_feasibility(enc, chain, false),
+            },
+            CacheMode::Record { pruner } => {
+                if pruner.as_ref().and_then(|p| p.verdict(chain)) == Some(false) {
+                    // Infeasible under a weaker base ⇒ infeasible here.
+                    self.cache_hits += 1;
+                    self.recorder.record(chain, false);
+                    false
+                } else {
+                    self.smt_feasibility(enc, chain, true)
+                }
+            }
+            CacheMode::Off => self.smt_feasibility(enc, chain, false),
+        }
+    }
+
+    fn smt_feasibility(&mut self, enc: &mut Encoding<'_>, chain: &[u64], record: bool) -> bool {
+        self.cache_misses += 1;
+        match enc.check() {
+            SatResult::Sat(_) => {
+                if record {
+                    self.recorder.record(chain, true);
+                }
+                true
+            }
+            SatResult::Unsat => {
+                if record {
+                    self.recorder.record(chain, false);
+                }
+                false
+            }
+            SatResult::Unknown(reason) => {
+                // Cannot prune, cannot trust: leave the chain without a
+                // verdict and keep exploring extensions conservatively.
+                self.recorder.saw_unknown = true;
+                self.unknown.get_or_insert(reason.to_string());
+                true
+            }
+        }
+    }
+
+    /// Precondition: `enc` holds the segments of `chain`, whose last
+    /// context is the current node.
+    fn recurse(&mut self, enc: &mut Encoding<'_>, chain: &mut Vec<u64>) -> Result<(), CheckError> {
+        let ex = self.ex;
+        let spec = ex.spec;
+        if ex.stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        if ex.schemas.load(Ordering::Relaxed) >= ex.checker.config.max_schemas {
             self.capped = true;
             return Ok(());
         }
@@ -651,71 +974,83 @@ impl Dfs<'_> {
         // longest uninterruptible stretch is a single SMT query, itself
         // bounded by the solver's budgets — so exhaustion degrades to
         // `Unknown` promptly instead of hanging.
-        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+        if spec.deadline.is_some_and(|d| Instant::now() >= d) {
             self.timed_out = true;
             return Ok(());
         }
         // Feasibility pruning: if the base constraints of the prefix are
         // unsatisfiable, so is every extension.
-        match enc.check() {
-            SatResult::Unsat => return Ok(()),
-            SatResult::Sat(_) => {}
-            SatResult::Unknown(reason) => {
-                // Cannot prune, cannot trust: record and keep exploring
-                // extensions conservatively.
-                self.unknown.get_or_insert(reason.to_string());
-            }
+        if !self.feasibility(enc, chain) {
+            return Ok(());
         }
+        ex.schemas.fetch_add(1, Ordering::Relaxed);
         self.schemas += 1;
         self.total_segments += enc.num_segments();
 
         // Query check on this prefix: the prefix is the whole run, so
-        // the final context is authoritative for the tail.
-        enc.push_query();
-        enc.assert_tail_exact();
-        self.plan.assert_query(enc, self.info);
-        let result = enc.check();
-        enc.pop_query();
-        match result {
-            SatResult::Sat(model) => {
-                let run = enc.extract(&model);
-                self.violation = Some(Counterexample::replay(self.ta, &run)?);
-                return Ok(());
-            }
-            SatResult::Unsat => {}
-            SatResult::Unknown(reason) => {
-                self.unknown.get_or_insert(reason.to_string());
+        // the final context is authoritative for the tail. A skeleton
+        // pass has no query — it only maps the feasible frontier.
+        if let Some(plan) = spec.query {
+            enc.push_query();
+            enc.assert_tail_exact();
+            plan.assert_query(enc, spec.info);
+            let result = enc.check();
+            enc.pop_query();
+            match result {
+                SatResult::Sat(model) => {
+                    let run = enc.extract(&model);
+                    self.violation = Some((chain.clone(), Counterexample::replay(spec.ta, &run)?));
+                    return Ok(());
+                }
+                SatResult::Unsat => {}
+                SatResult::Unknown(reason) => {
+                    self.unknown.get_or_insert(reason.to_string());
+                }
             }
         }
 
         // Extensions: non-empty subsets of the remaining guards, closed
-        // under implication, statically unlockable after `ctx`.
-        let remaining = self.full & !ctx;
+        // under implication, statically unlockable after `ctx` — visited
+        // in ascending order, so DFS preorder equals the lexicographic
+        // chain order the cache replays in.
+        let ctx = *chain.last().expect("chain is never empty");
+        let remaining = ex.full & !ctx;
         if remaining == 0 {
             return Ok(());
         }
-        let mut sub = remaining;
+        let mut sub = 0u64;
         loop {
+            sub = sub.wrapping_sub(remaining) & remaining;
+            if sub == 0 {
+                break;
+            }
             let next = ctx | sub;
-            if self.info.can_unlock_set(sub, ctx) && self.info.is_closed(next) {
-                if depth.saturating_add(1) == Self::PARALLEL_DEPTH {
-                    // Defer to the worker pool; feasibility of the
-                    // extension is re-checked by the worker.
-                    let mut prefix = enc.context_prefix();
-                    prefix.push(next);
-                    self.frontier.push(prefix);
+            if spec.info.can_unlock_set(sub, ctx) && spec.info.is_closed(next) {
+                if ex.threads > 1
+                    && ex.idle.load(Ordering::Relaxed) > 0
+                    && !ex.stop.load(Ordering::Relaxed)
+                {
+                    // Someone is hungry: hand the subtree over instead
+                    // of walking it (its feasibility is checked by the
+                    // taker).
+                    chain.push(next);
+                    self.donate(chain);
+                    chain.pop();
                 } else {
-                    enc.push_segments(SegmentKind::Fixed(next), self.copies);
-                    self.recurse(enc, next, depth.saturating_add(1))?;
+                    enc.push_segments(SegmentKind::Fixed(next), spec.copies);
+                    chain.push(next);
+                    let r = self.recurse(enc, chain);
+                    chain.pop();
                     enc.pop_segments();
-                    if self.violation.is_some() || self.capped || self.timed_out {
+                    r?;
+                    if self.violation.is_some()
+                        || self.capped
+                        || self.timed_out
+                        || ex.stop.load(Ordering::Relaxed)
+                    {
                         return Ok(());
                     }
                 }
-            }
-            sub = (sub - 1) & remaining;
-            if sub == 0 {
-                break;
             }
         }
         Ok(())

@@ -64,6 +64,14 @@ pub struct Encoding<'a> {
     push_sizes: Vec<usize>,
     topo: Vec<RuleId>,
     banned: Vec<bool>,
+    /// `counter_exprs[b][loc]` = counter of `loc` at boundary `b`.
+    /// Extended by [`push_one`](Encoding::push_one), truncated by
+    /// [`pop_segments`](Encoding::pop_segments); replaces the former
+    /// O(boundary × rules) recomputation on every lookup.
+    counter_exprs: Vec<Vec<LinExpr>>,
+    /// `shared_exprs[b][v]` = value of shared variable `v` at boundary
+    /// `b`; maintained like `counter_exprs`.
+    shared_exprs: Vec<Vec<LinExpr>>,
 }
 
 impl<'a> Encoding<'a> {
@@ -118,6 +126,9 @@ impl<'a> Encoding<'a> {
             .topological_rules()
             .expect("checker requires a DAG automaton");
 
+        let counter_exprs = vec![init.clone()];
+        let shared_exprs = vec![vec![LinExpr::zero(); ta.variables.len()]];
+
         Encoding {
             ta,
             info,
@@ -129,6 +140,8 @@ impl<'a> Encoding<'a> {
             push_sizes: Vec::new(),
             topo,
             banned,
+            counter_exprs,
+            shared_exprs,
         }
     }
 
@@ -165,16 +178,21 @@ impl<'a> Encoding<'a> {
     }
 
     fn push_one(&mut self, kind: SegmentKind) {
+        let ta = self.ta;
         let si = self.segments.len();
         let prev_ctx = self.segments.last().map(|s| match s {
             SegmentKind::Fixed(c) => *c,
             SegmentKind::Free => u64::MAX,
         });
 
-        // Factor variables.
+        // Fresh factor variables per push. (Pooling them across
+        // re-pushes of the same position looks attractive but makes the
+        // simplex reuse the same few slack rows across thousands of
+        // checks; accumulated pivot fill-in turns those rows dense and
+        // costs far more than the variables save.)
         let mut seg_factors = Vec::new();
         for &r in &self.topo.clone() {
-            let rule = &self.ta.rules[r.0];
+            let rule = &ta.rules[r.0];
             if self.banned[rule.from.0] || self.banned[rule.to.0] {
                 continue;
             }
@@ -189,24 +207,38 @@ impl<'a> Encoding<'a> {
         self.factors.push(seg_factors);
         self.segments.push(kind);
 
-        // Availability within the new segment.
-        let mut constraints = Vec::new();
+        // Availability within the new segment (interned: the same
+        // prefix-sum forms recur on every re-push of a shared prefix).
         {
             let mut delta: HashMap<usize, LinExpr> = HashMap::new();
-            for &(r, x) in &self.factors[si] {
-                let rule = &self.ta.rules[r.0];
-                let mut avail = self.boundary_counter(si, rule.from);
-                if let Some(d) = delta.get(&rule.from.0) {
+            let seg = self.factors[si].clone();
+            for (r, x) in seg {
+                let rule = &ta.rules[r.0];
+                let (from, to) = (rule.from.0, rule.to.0);
+                let mut avail = self.counter_exprs[si][from].clone();
+                if let Some(d) = delta.get(&from) {
                     avail += d.clone();
                 }
-                constraints.push(Constraint::ge(avail, LinExpr::var(x)));
-                *delta.entry(rule.from.0).or_default() -= LinExpr::var(x);
-                *delta.entry(rule.to.0).or_default() += LinExpr::var(x);
+                let c = self.solver.interner().ge(avail, LinExpr::var(x));
+                self.solver.assert_constraint(c);
+                *delta.entry(from).or_default() -= LinExpr::var(x);
+                *delta.entry(to).or_default() += LinExpr::var(x);
             }
         }
-        for c in constraints {
-            self.solver.assert_constraint(c);
+
+        // Extend the boundary caches to boundary `si + 1`.
+        let mut counters = self.counter_exprs[si].clone();
+        let mut shared = self.shared_exprs[si].clone();
+        for &(r, x) in &self.factors[si] {
+            let rule = &ta.rules[r.0];
+            counters[rule.to.0] += LinExpr::var(x);
+            counters[rule.from.0] -= LinExpr::var(x);
+            for &(uv, amount) in &rule.update {
+                shared[uv.0] += LinExpr::term(x, amount as i128);
+            }
         }
+        self.counter_exprs.push(counters);
+        self.shared_exprs.push(shared);
 
         // Guard constraints at the entry boundary `si`: newly unlocked
         // guards hold there; locked guards are still false there (their
@@ -215,6 +247,7 @@ impl<'a> Encoding<'a> {
         // constraints keep the context semantics exact, which both
         // sharpens DFS pruning and lets the final context decide every
         // vocabulary atom at the tail.
+        let info = self.info;
         match kind {
             SegmentKind::Fixed(ctx) => {
                 let newly = match prev_ctx {
@@ -222,37 +255,33 @@ impl<'a> Encoding<'a> {
                     Some(_) => 0, // after a Free segment nothing is "new"
                     None => ctx,
                 };
-                let mut formulas = Vec::new();
-                for (gi, g) in self.info.guards.iter().enumerate() {
+                for (gi, g) in info.guards.iter().enumerate() {
                     if newly & (1 << gi) != 0 {
-                        formulas.push(Formula::atom(self.guard_at(g, si)));
+                        let c = self.guard_at_interned(g, si);
+                        self.solver.assert(Formula::atom(c));
                     } else if ctx & (1 << gi) == 0 {
-                        formulas.push(Formula::not(Formula::atom(self.guard_at(g, si))));
+                        let c = self.guard_at_interned(g, si);
+                        self.solver.assert(Formula::not(Formula::atom(c)));
                     }
-                }
-                for f in formulas {
-                    self.solver.assert(f);
                 }
             }
             SegmentKind::Free => {
-                let mut formulas = Vec::new();
-                for &(r, x) in &self.factors[si] {
-                    let rule = &self.ta.rules[r.0];
+                let seg = self.factors[si].clone();
+                for (r, x) in seg {
+                    let rule = &ta.rules[r.0];
                     if rule.guard.is_true() {
                         continue;
                     }
+                    let atoms = rule.guard.atoms().to_vec();
                     let holds = Formula::and(
-                        rule.guard
-                            .atoms()
+                        atoms
                             .iter()
-                            .map(|g| Formula::atom(self.guard_at(g, si))),
+                            .map(|g| Formula::atom(self.guard_at_interned(g, si))),
                     );
-                    formulas.push(Formula::or([
+                    let f = Formula::or([
                         Formula::atom(Constraint::le(LinExpr::var(x), LinExpr::constant(0))),
                         holds,
-                    ]));
-                }
-                for f in formulas {
+                    ]);
                     self.solver.assert(f);
                 }
             }
@@ -272,6 +301,8 @@ impl<'a> Encoding<'a> {
             self.factors.pop();
             self.segments.pop();
         }
+        self.counter_exprs.truncate(self.segments.len() + 1);
+        self.shared_exprs.truncate(self.segments.len() + 1);
     }
 
     /// The distinct fixed contexts of the pushed segments, in order
@@ -343,36 +374,15 @@ impl<'a> Encoding<'a> {
         self.segments.len()
     }
 
-    /// The counter of `loc` at boundary `b`, as a linear expression.
+    /// The counter of `loc` at boundary `b`, as a linear expression
+    /// (cache lookup; maintained incrementally by push/pop).
     pub fn boundary_counter(&self, b: usize, loc: LocationId) -> LinExpr {
-        let mut e = self.init[loc.0].clone();
-        for si in 0..b.min(self.factors.len()) {
-            for &(r, x) in &self.factors[si] {
-                let rule = &self.ta.rules[r.0];
-                if rule.to == loc {
-                    e += LinExpr::var(x);
-                }
-                if rule.from == loc {
-                    e -= LinExpr::var(x);
-                }
-            }
-        }
-        e
+        self.counter_exprs[b.min(self.counter_exprs.len() - 1)][loc.0].clone()
     }
 
-    /// The value of shared variable `v` at boundary `b`.
+    /// The value of shared variable `v` at boundary `b` (cache lookup).
     pub fn boundary_shared(&self, b: usize, v: VarId) -> LinExpr {
-        let mut e = LinExpr::zero();
-        for si in 0..b.min(self.factors.len()) {
-            for &(r, x) in &self.factors[si] {
-                for &(uv, amount) in &self.ta.rules[r.0].update {
-                    if uv == v {
-                        e += LinExpr::term(x, amount as i128);
-                    }
-                }
-            }
-        }
-        e
+        self.shared_exprs[b.min(self.shared_exprs.len() - 1)][v.0].clone()
     }
 
     /// The constraint `guard holds at boundary b`.
@@ -385,6 +395,21 @@ impl<'a> Encoding<'a> {
         match g.cmp {
             holistic_ta::GuardCmp::Ge => Constraint::ge(lhs, rhs),
             holistic_ta::GuardCmp::Lt => Constraint::lt(lhs, rhs),
+        }
+    }
+
+    /// [`guard_at`](Encoding::guard_at) through the solver's constraint
+    /// interner: the same guard atom at the same boundary recurs on
+    /// every re-push of a shared prefix and in every property's query.
+    fn guard_at_interned(&mut self, g: &AtomicGuard, b: usize) -> Constraint {
+        let mut lhs = LinExpr::zero();
+        for (v, c) in g.lhs.iter() {
+            lhs += self.boundary_shared(b, v).scale(holistic_lia::Rat::from(c));
+        }
+        let rhs = param_expr_to_lin(&g.rhs, &self.params);
+        match g.cmp {
+            holistic_ta::GuardCmp::Ge => self.solver.interner().ge(lhs, rhs),
+            holistic_ta::GuardCmp::Lt => self.solver.interner().lt(lhs, rhs),
         }
     }
 
@@ -429,6 +454,11 @@ impl<'a> Encoding<'a> {
     /// Solver statistics.
     pub fn solver_stats(&self) -> holistic_lia::SolverStats {
         self.solver.stats()
+    }
+
+    /// (rows, vars) of the underlying tableau (a size statistic).
+    pub fn tableau_size(&self) -> (usize, usize) {
+        self.solver.tableau_size()
     }
 
     /// Extracts the witness run from a model.

@@ -88,11 +88,67 @@ pub fn enumerate_schedules(info: &GuardInfo, cap: usize) -> ScheduleEnumeration 
     out
 }
 
-/// Counts schedules without storing them (used for the explosion demo);
-/// stops at `cap`.
+/// Counts schedules without storing them; stops at `cap`.
+///
+/// Unlike [`enumerate_schedules`], this never materializes a schedule
+/// (the full enumeration clones a `Vec<u64>` per lattice node, which
+/// for the naive-explosion demo means hundreds of thousands of
+/// allocations just to read the count) — it walks the same pruned
+/// lattice with a single reusable prefix and a counter.
 pub fn count_schedules(info: &GuardInfo, cap: usize) -> (usize, bool) {
-    let e = enumerate_schedules(info, cap);
-    (e.counted, e.capped())
+    let full: u64 = if info.len() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << info.len()) - 1
+    };
+    let mut initial_contexts = Vec::new();
+    collect_closed_subsets(info, info.initially_possible, &mut initial_contexts);
+
+    let mut counted = 0usize;
+    let mut capped = false;
+    for &start in &initial_contexts {
+        count_dfs(info, full, start, cap, &mut counted, &mut capped);
+        if capped {
+            break;
+        }
+    }
+    (counted, capped)
+}
+
+/// Allocation-free counting walk over the schedule lattice; mirrors
+/// [`dfs`] exactly but only carries the current context, not the chain.
+fn count_dfs(
+    info: &GuardInfo,
+    full: u64,
+    current: u64,
+    cap: usize,
+    counted: &mut usize,
+    capped: &mut bool,
+) {
+    if *counted >= cap {
+        *capped = true;
+        return;
+    }
+    *counted += 1;
+
+    let remaining = full & !current;
+    if remaining == 0 {
+        return;
+    }
+    let mut sub = remaining;
+    loop {
+        let next = current | sub;
+        if info.can_unlock_set(sub, current) && info.is_closed(next) {
+            count_dfs(info, full, next, cap, counted, capped);
+            if *capped {
+                return;
+            }
+        }
+        sub = (sub - 1) & remaining;
+        if sub == 0 {
+            break;
+        }
+    }
 }
 
 fn collect_closed_subsets(info: &GuardInfo, universe: u64, out: &mut Vec<u64>) {
@@ -236,6 +292,33 @@ mod tests {
         // Fully ordered chain of 3: contexts ∅ ⊂ {0} ⊂ {0,1} ⊂ {0,1,2}:
         // schedules = chains starting at ∅ in a 4-chain = 2^3 = 8.
         assert_eq!(e.schedules.len(), 8);
+    }
+
+    #[test]
+    fn count_agrees_with_enumeration() {
+        for (n, implications, initially) in [
+            (0, &[][..], 0u64),
+            (1, &[][..], 0),
+            (2, &[][..], 0),
+            (2, &[(1, 0)][..], 0),
+            (2, &[][..], 0b01),
+            (3, &[(2, 1), (1, 0)][..], 0),
+            (6, &[][..], 0),
+        ] {
+            let i = info(n, implications, initially);
+            let e = enumerate_schedules(&i, 1_000_000);
+            let (counted, capped) = count_schedules(&i, 1_000_000);
+            assert_eq!(counted, e.counted, "n={n}");
+            assert_eq!(capped, e.capped(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn count_respects_the_cap() {
+        let i = info(6, &[], 0);
+        let (counted, capped) = count_schedules(&i, 50);
+        assert!(capped);
+        assert_eq!(counted, 50);
     }
 
     #[test]

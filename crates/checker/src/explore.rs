@@ -1,0 +1,361 @@
+//! Cross-property schema exploration cache.
+//!
+//! Holistic verification checks *many* properties of the *same*
+//! automaton (the paper's Table 2 runs nine properties over three
+//! automata). The schedule DFS of [`Checker`](crate::Checker) spends
+//! most of its time discovering, per property, which context chains
+//! are feasible — but feasibility of a chain depends only on the *base
+//! encoding* (automaton, globally-empty locations, initial-state
+//! proposition, segment copies), not on the property's witness or tail
+//! constraints, which live in a separate solver scope. This module
+//! memoizes that discovery so the lattice is explored once per base
+//! encoding and *replayed* for every later property.
+//!
+//! Three levels of reuse, strongest first:
+//!
+//! 1. **Replay** — a later query with the *same* [`ExplorationKey`]
+//!    skips feasibility checks entirely: the recorded feasible chains
+//!    are walked in canonical order and only the per-property query
+//!    check runs on each.
+//! 2. **Pruning** — a recorded exploration under a *weaker* base (fewer
+//!    globally-empty locations, trivial `initially`, at least as many
+//!    copies) soundly transfers its *infeasible* verdicts: removing
+//!    constraints can only grow the feasible set, and extra segment
+//!    copies can only make more chains feasible (surplus factors are
+//!    zeroable), so "infeasible under the weaker base" implies
+//!    "infeasible here".
+//! 3. **Skeleton** — when nothing recorded matches, the checker first
+//!    explores the weakest base of the automaton (`initially = True`,
+//!    no globally-empty locations) without any query checks and records
+//!    it; every subsequent property of the automaton then prunes
+//!    against it. This is what guarantees nonzero cache-hit counters
+//!    for every property after the first.
+//!
+//! Verdicts are stored per *chain* (the strictly increasing context
+//! sequence identifying a lattice node) in canonical lexicographic
+//! order, which equals DFS preorder when children are visited in
+//! ascending context order — so a recording assembled from parallel
+//! workers in any completion order still replays deterministically.
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+use holistic_ltl::Prop;
+use holistic_ta::{LocationId, ThresholdAutomaton};
+
+/// Everything that determines per-chain feasibility of the schedule
+/// DFS's base encoding. Two queries with equal keys have identical
+/// feasible frontiers.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ExplorationKey {
+    /// Structural fingerprint of the automaton.
+    automaton: u64,
+    /// Locations forced empty for the whole run (sorted).
+    globally_empty: Vec<LocationId>,
+    /// Canonical rendering of the `initially` proposition.
+    initially: String,
+    /// Segment copies pushed per context (1 + unstable witnesses).
+    copies: usize,
+}
+
+/// Fingerprints an automaton's structure (locations, variables, rules,
+/// resilience). In-process only: the cache never outlives the run, so a
+/// deterministic hash of the debug rendering suffices.
+fn fingerprint(ta: &ThresholdAutomaton) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{ta:?}").hash(&mut h);
+    h.finish()
+}
+
+impl ExplorationKey {
+    /// The key for a query's base encoding.
+    pub fn new(
+        ta: &ThresholdAutomaton,
+        globally_empty: &[LocationId],
+        initially: &Prop,
+        copies: usize,
+    ) -> ExplorationKey {
+        let mut ge = globally_empty.to_vec();
+        ge.sort_unstable();
+        ge.dedup();
+        ExplorationKey {
+            automaton: fingerprint(ta),
+            globally_empty: ge,
+            initially: format!("{initially:?}"),
+            copies,
+        }
+    }
+
+    /// The weakest base of the same automaton at the same copies: no
+    /// globally-empty locations, trivial `initially`.
+    pub fn skeleton(&self) -> ExplorationKey {
+        ExplorationKey {
+            automaton: self.automaton,
+            globally_empty: Vec::new(),
+            initially: format!("{:?}", Prop::True),
+            copies: self.copies,
+        }
+    }
+
+    /// Whether this key already *is* its own skeleton.
+    pub fn is_skeleton(&self) -> bool {
+        self.globally_empty.is_empty() && self.initially == format!("{:?}", Prop::True)
+    }
+
+    /// Whether an exploration recorded under `self` soundly transfers
+    /// its *infeasible* verdicts to a query keyed `other`:
+    /// same automaton, weaker-or-equal constraints, at least as many
+    /// copies.
+    pub fn prunes(&self, other: &ExplorationKey) -> bool {
+        self.automaton == other.automaton
+            && self.copies >= other.copies
+            && (self.initially == other.initially || self.initially == format!("{:?}", Prop::True))
+            && self
+                .globally_empty
+                .iter()
+                .all(|l| other.globally_empty.contains(l))
+    }
+}
+
+/// A recorded exploration of one base encoding's schedule lattice.
+#[derive(Debug)]
+pub struct Exploration {
+    key: ExplorationKey,
+    /// Chain → feasible. Chains whose feasibility check returned
+    /// `Unknown` are absent.
+    verdicts: HashMap<Vec<u64>, bool>,
+    /// Feasible chains in canonical (lexicographic = DFS preorder)
+    /// order, for replay.
+    feasible: Vec<Vec<u64>>,
+    /// Whether the whole lattice was covered with definite verdicts
+    /// (no cap, timeout, violation stop, or unknown). Only complete
+    /// explorations may be replayed; incomplete ones still prune.
+    complete: bool,
+}
+
+impl Exploration {
+    /// The key this exploration was recorded under.
+    pub fn key(&self) -> &ExplorationKey {
+        &self.key
+    }
+
+    /// The recorded feasibility of `chain`, if any.
+    pub fn verdict(&self, chain: &[u64]) -> Option<bool> {
+        self.verdicts.get(chain).copied()
+    }
+
+    /// Feasible chains in replay order.
+    pub fn feasible_chains(&self) -> &[Vec<u64>] {
+        &self.feasible
+    }
+
+    /// Number of recorded infeasible chains.
+    pub fn infeasible_count(&self) -> usize {
+        self.verdicts.len() - self.feasible.len()
+    }
+
+    /// Whether the exploration covers the whole lattice (replayable).
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+}
+
+/// Accumulates `(chain, feasible)` verdicts during a DFS; workers each
+/// hold their own recorder and the results are merged, so recording
+/// order is irrelevant (finalization sorts canonically).
+#[derive(Debug, Default)]
+pub struct Recorder {
+    nodes: Vec<(Vec<u64>, bool)>,
+    /// Set when a feasibility check returned `Unknown`: the node's
+    /// verdict is missing, so the exploration cannot be complete.
+    pub saw_unknown: bool,
+}
+
+impl Recorder {
+    /// A fresh recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Records a definite feasibility verdict for `chain`.
+    pub fn record(&mut self, chain: &[u64], feasible: bool) {
+        self.nodes.push((chain.to_vec(), feasible));
+    }
+
+    /// Merges another recorder (e.g. a worker's) into this one.
+    pub fn merge(&mut self, other: Recorder) {
+        self.nodes.extend(other.nodes);
+        self.saw_unknown |= other.saw_unknown;
+    }
+
+    /// Builds the exploration. `covered` is whether the DFS ran to the
+    /// end of the lattice (no cap/timeout/violation stop).
+    pub fn finish(self, key: ExplorationKey, covered: bool) -> Exploration {
+        let complete = covered && !self.saw_unknown;
+        let mut verdicts = HashMap::with_capacity(self.nodes.len());
+        for (chain, f) in self.nodes {
+            verdicts.insert(chain, f);
+        }
+        let mut feasible: Vec<Vec<u64>> = verdicts
+            .iter()
+            .filter(|(_, &f)| f)
+            .map(|(c, _)| c.clone())
+            .collect();
+        feasible.sort_unstable();
+        Exploration {
+            key,
+            verdicts,
+            feasible,
+            complete,
+        }
+    }
+}
+
+/// The process-wide store, shared by all clones of a
+/// [`Checker`](crate::Checker) (clones share the same `Arc`).
+#[derive(Debug, Default)]
+pub struct ExplorationCache {
+    inner: Mutex<HashMap<ExplorationKey, Arc<Exploration>>>,
+}
+
+impl ExplorationCache {
+    /// A fresh, empty cache.
+    pub fn new() -> ExplorationCache {
+        ExplorationCache::default()
+    }
+
+    /// A complete exploration recorded under exactly `key`, if any.
+    pub fn replayable(&self, key: &ExplorationKey) -> Option<Arc<Exploration>> {
+        self.inner
+            .lock()
+            .unwrap()
+            .get(key)
+            .filter(|e| e.is_complete())
+            .cloned()
+    }
+
+    /// The best recorded exploration whose infeasible verdicts soundly
+    /// prune a query keyed `key` (the one with the most verdicts wins).
+    pub fn pruner_for(&self, key: &ExplorationKey) -> Option<Arc<Exploration>> {
+        self.inner
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|e| e.key().prunes(key))
+            .max_by_key(|e| e.verdicts.len())
+            .cloned()
+    }
+
+    /// Stores an exploration. A complete recording is never replaced by
+    /// an incomplete one.
+    pub fn insert(&self, e: Exploration) {
+        let mut map = self.inner.lock().unwrap();
+        match map.get(&e.key) {
+            Some(old) if old.is_complete() && !e.is_complete() => {}
+            _ => {
+                map.insert(e.key.clone(), Arc::new(e));
+            }
+        }
+    }
+
+    /// Number of recorded explorations.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(ge: &[usize], init: &Prop, copies: usize) -> ExplorationKey {
+        ExplorationKey {
+            automaton: 42,
+            globally_empty: ge.iter().map(|&i| LocationId(i)).collect(),
+            initially: format!("{init:?}"),
+            copies,
+        }
+    }
+
+    #[test]
+    fn skeleton_prunes_everything_at_lower_or_equal_copies() {
+        let strong = key(&[0, 3], &Prop::loc_empty(LocationId(1)), 1);
+        let skel = strong.skeleton();
+        assert!(skel.is_skeleton());
+        assert!(skel.prunes(&strong));
+        assert!(skel.prunes(&skel.clone()));
+        // More copies than recorded: not sound.
+        let more = key(&[], &Prop::True, 2);
+        assert!(!skel.prunes(&more));
+        // Fewer copies than recorded: sound.
+        let skel2 = more.skeleton();
+        assert!(skel2.prunes(&strong));
+    }
+
+    #[test]
+    fn stronger_base_does_not_prune_weaker() {
+        let strong = key(&[0], &Prop::True, 1);
+        let weak = key(&[], &Prop::True, 1);
+        assert!(!strong.prunes(&weak));
+        assert!(weak.prunes(&strong));
+    }
+
+    #[test]
+    fn recorder_canonical_order_is_scheduling_independent() {
+        let k = key(&[], &Prop::True, 1);
+        let mut a = Recorder::new();
+        a.record(&[0, 3], true);
+        a.record(&[0], true);
+        let mut b = Recorder::new();
+        b.record(&[0, 1], true);
+        b.record(&[0, 1, 3], false);
+        // Merge in "wrong" order; finish() canonicalizes.
+        let mut merged = Recorder::new();
+        merged.merge(b);
+        merged.merge(a);
+        let e = merged.finish(k, true);
+        assert!(e.is_complete());
+        assert_eq!(
+            e.feasible_chains(),
+            &[vec![0], vec![0, 1], vec![0, 3]],
+            "lexicographic = DFS preorder"
+        );
+        assert_eq!(e.verdict(&[0, 1, 3]), Some(false));
+        assert_eq!(e.verdict(&[9]), None);
+        assert_eq!(e.infeasible_count(), 1);
+    }
+
+    #[test]
+    fn unknown_or_uncovered_explorations_are_not_replayable() {
+        let k = key(&[], &Prop::True, 1);
+        let mut r = Recorder::new();
+        r.record(&[0], true);
+        r.saw_unknown = true;
+        assert!(!r.finish(k.clone(), true).is_complete());
+        let mut r = Recorder::new();
+        r.record(&[0], true);
+        assert!(!r.finish(k, false).is_complete());
+    }
+
+    #[test]
+    fn cache_prefers_complete_recordings() {
+        let cache = ExplorationCache::new();
+        let k = key(&[], &Prop::True, 1);
+        let mut r = Recorder::new();
+        r.record(&[0], true);
+        cache.insert(r.finish(k.clone(), true));
+        assert!(cache.replayable(&k).is_some());
+        // An incomplete re-recording must not clobber it.
+        let mut r = Recorder::new();
+        r.record(&[0], true);
+        cache.insert(r.finish(k.clone(), false));
+        assert!(cache.replayable(&k).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+}

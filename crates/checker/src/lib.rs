@@ -43,6 +43,7 @@ mod checker;
 mod counterexample;
 mod encode;
 mod enumeration;
+mod explore;
 mod guards;
 
 pub use checker::{
@@ -51,4 +52,5 @@ pub use checker::{
 pub use counterexample::{CeStep, Counterexample, ReplayError};
 pub use encode::{Encoding, SegmentKind, SymbolicRun};
 pub use enumeration::{count_schedules, enumerate_schedules, ContextSchedule, ScheduleEnumeration};
+pub use explore::{Exploration, ExplorationCache, ExplorationKey};
 pub use guards::{GuardError, GuardInfo};

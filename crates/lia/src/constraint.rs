@@ -57,7 +57,7 @@ impl fmt::Display for Rel {
 /// let c = Constraint::gt(LinExpr::var(x), LinExpr::constant(3));
 /// assert_eq!(c.to_string(), "x0 - 4 >= 0");
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Constraint {
     expr: LinExpr,
     rel: Rel,

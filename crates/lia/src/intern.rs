@@ -1,0 +1,226 @@
+//! Hash-consed construction of linear constraints.
+//!
+//! The model checker builds the *same* constraints over and over: the
+//! availability constraint of a segment is re-derived every time a
+//! schedule prefix is re-pushed, and every property of an automaton
+//! re-encodes the same guard atoms at the same boundaries. Constraint
+//! construction is not free — normalisation scales coefficients to
+//! integers, applies GCD tightening, and rebuilds the term map several
+//! times (see [`Constraint`]).
+//!
+//! An [`Interner`] memoises that work: constraints are keyed by their
+//! *un-normalised* difference expression and relation, so a repeated
+//! construction is a single hash lookup plus a clone of the already
+//! normalised result. Hit/miss counters are exposed so callers (the
+//! solver, and transitively the checker's `QueryStats`) can report how
+//! much structural sharing a run actually achieved.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use crate::constraint::{Constraint, Rel};
+use crate::linexpr::LinExpr;
+
+/// Hit/miss counters for an [`Interner`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Constructions answered from the cache.
+    pub hits: u64,
+    /// Constructions that had to normalise from scratch.
+    pub misses: u64,
+}
+
+impl InternStats {
+    /// `hits / (hits + misses)`, or 0 if nothing was interned.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The comparison operators an [`Interner`] can memoise. The strict
+/// variants exist because strictness is applied *during* normalisation
+/// (after denominator scaling), so `lhs < rhs` cannot be keyed as
+/// `lhs + 1 <= rhs` in general.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Op {
+    Le,
+    Ge,
+    Eq,
+    Lt,
+    Gt,
+}
+
+/// A structural-sharing arena for normalised [`Constraint`]s.
+///
+/// # Examples
+///
+/// ```
+/// use holistic_lia::{Interner, LinExpr, Rel, Solver};
+///
+/// let mut solver = Solver::new();
+/// let x = solver.new_var("x");
+/// let mut interner = Interner::new();
+/// let a = interner.cmp(LinExpr::var(x), Rel::Ge, LinExpr::constant(3));
+/// let b = interner.cmp(LinExpr::var(x), Rel::Ge, LinExpr::constant(3));
+/// assert_eq!(a, b);
+/// assert_eq!(interner.stats().hits, 1);
+/// assert_eq!(interner.stats().misses, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Interner {
+    constraints: HashMap<(LinExpr, Op), Constraint>,
+    stats: InternStats,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Cumulative hit/miss counters.
+    pub fn stats(&self) -> InternStats {
+        self.stats
+    }
+
+    /// The number of distinct constraints interned so far.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    fn build(&mut self, lhs: LinExpr, op: Op, rhs: LinExpr) -> Constraint {
+        let diff = lhs - rhs;
+        match self.constraints.entry((diff, op)) {
+            Entry::Occupied(e) => {
+                self.stats.hits += 1;
+                e.get().clone()
+            }
+            Entry::Vacant(e) => {
+                self.stats.misses += 1;
+                let expr = e.key().0.clone();
+                let c = match op {
+                    Op::Le => Constraint::le(expr, LinExpr::zero()),
+                    Op::Ge => Constraint::ge(expr, LinExpr::zero()),
+                    Op::Eq => Constraint::eq(expr, LinExpr::zero()),
+                    Op::Lt => Constraint::lt(expr, LinExpr::zero()),
+                    Op::Gt => Constraint::gt(expr, LinExpr::zero()),
+                };
+                e.insert(c.clone());
+                c
+            }
+        }
+    }
+
+    /// The (normalised) constraint `lhs REL rhs`, memoised by the
+    /// un-normalised difference `lhs - rhs`.
+    pub fn cmp(&mut self, lhs: LinExpr, rel: Rel, rhs: LinExpr) -> Constraint {
+        let op = match rel {
+            Rel::Le => Op::Le,
+            Rel::Ge => Op::Ge,
+            Rel::Eq => Op::Eq,
+        };
+        self.build(lhs, op, rhs)
+    }
+
+    /// Interned `lhs <= rhs`.
+    pub fn le(&mut self, lhs: LinExpr, rhs: LinExpr) -> Constraint {
+        self.build(lhs, Op::Le, rhs)
+    }
+
+    /// Interned `lhs >= rhs`.
+    pub fn ge(&mut self, lhs: LinExpr, rhs: LinExpr) -> Constraint {
+        self.build(lhs, Op::Ge, rhs)
+    }
+
+    /// Interned `lhs == rhs`.
+    pub fn eq(&mut self, lhs: LinExpr, rhs: LinExpr) -> Constraint {
+        self.build(lhs, Op::Eq, rhs)
+    }
+
+    /// Interned `lhs < rhs` (integer-tightened).
+    pub fn lt(&mut self, lhs: LinExpr, rhs: LinExpr) -> Constraint {
+        self.build(lhs, Op::Lt, rhs)
+    }
+
+    /// Interned `lhs > rhs` (integer-tightened).
+    pub fn gt(&mut self, lhs: LinExpr, rhs: LinExpr) -> Constraint {
+        self.build(lhs, Op::Gt, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::Var;
+    use crate::rat::Rat;
+
+    #[test]
+    fn interned_equals_direct_construction() {
+        let mut i = Interner::new();
+        let x = Var(0);
+        let y = Var(1);
+        let lhs = LinExpr::term(x, Rat::new(1, 2)) + LinExpr::var(y);
+        let rhs = LinExpr::constant(3);
+        let interned = i.ge(lhs.clone(), rhs.clone());
+        let direct = Constraint::ge(lhs, rhs);
+        assert_eq!(interned, direct);
+    }
+
+    #[test]
+    fn hits_and_misses_count() {
+        let mut i = Interner::new();
+        let x = Var(0);
+        for _ in 0..3 {
+            i.le(LinExpr::var(x), LinExpr::constant(7));
+        }
+        i.ge(LinExpr::var(x), LinExpr::constant(7));
+        assert_eq!(i.stats().misses, 2, "distinct (expr, rel) keys");
+        assert_eq!(i.stats().hits, 2);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn different_relations_do_not_collide() {
+        let mut i = Interner::new();
+        let x = Var(0);
+        let le = i.le(LinExpr::var(x), LinExpr::constant(0));
+        let ge = i.ge(LinExpr::var(x), LinExpr::constant(0));
+        assert_ne!(le, ge);
+    }
+
+    #[test]
+    fn strict_comparisons_match_direct_construction() {
+        let mut i = Interner::new();
+        let x = Var(0);
+        // Rational coefficients make the scaling order matter.
+        let lhs = LinExpr::term(x, Rat::new(1, 2));
+        let rhs = LinExpr::constant(3);
+        assert_eq!(
+            i.lt(lhs.clone(), rhs.clone()),
+            Constraint::lt(lhs.clone(), rhs.clone())
+        );
+        assert_eq!(i.gt(lhs.clone(), rhs.clone()), Constraint::gt(lhs, rhs));
+        // Strict and non-strict share a difference key but not an entry.
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut i = Interner::new();
+        assert_eq!(i.stats().hit_rate(), 0.0);
+        let x = Var(0);
+        i.eq(LinExpr::var(x), LinExpr::constant(1));
+        i.eq(LinExpr::var(x), LinExpr::constant(1));
+        assert_eq!(i.stats().hit_rate(), 0.5);
+    }
+}

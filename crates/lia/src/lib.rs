@@ -39,6 +39,7 @@
 
 mod constraint;
 mod formula;
+mod intern;
 mod linexpr;
 mod model;
 mod rat;
@@ -47,6 +48,7 @@ mod solver;
 
 pub use constraint::{Constraint, Rel};
 pub use formula::Formula;
+pub use intern::{InternStats, Interner};
 pub use linexpr::{LinExpr, Var};
 pub use model::{Model, SatResult, UnknownReason};
 pub use rat::Rat;

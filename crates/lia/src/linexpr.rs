@@ -50,7 +50,7 @@ impl fmt::Display for Var {
 /// assert_eq!(e.coeff(x), 2.into());
 /// assert_eq!(e.constant_term(), (-3).into());
 /// ```
-#[derive(Clone, PartialEq, Eq, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct LinExpr {
     terms: BTreeMap<Var, Rat>,
     constant: Rat,

@@ -8,10 +8,29 @@
 //!
 //! The tableau only grows (slack rows are permanent); backtracking
 //! restores *bounds* from a trail, which keeps push/pop cheap — exactly
-//! the access pattern of branch-and-bound and of case splitting in the
-//! formula layer.
+//! the access pattern of branch-and-bound, of case splitting in the
+//! formula layer, and of the model checker's schedule DFS.
+//!
+//! Two sparse data structures keep long incremental sessions fast even
+//! when the tableau has accumulated thousands of rows from explored and
+//! abandoned schedule prefixes:
+//!
+//! * a **column index** (`cols`) mapping each non-basic variable to the
+//!   rows it occurs in, so bound updates and pivots touch only the rows
+//!   that actually mention the variable instead of scanning the whole
+//!   tableau;
+//! * a **suspect set** of basic variables whose value or bounds changed
+//!   since they were last verified, so the Bland violated-variable scan
+//!   is proportional to recent activity, not to tableau size. The
+//!   invariant is `violated ⊆ suspect` (non-basic variables always
+//!   satisfy their bounds).
+//!
+//! A **conflict counter** tracks variables whose lower bound exceeds
+//! their upper bound, replacing the former all-variables scan at the
+//! start of every check.
 
 use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::collections::HashMap;
 
 use crate::constraint::{Constraint, Rel};
@@ -33,6 +52,12 @@ struct VarState {
     upper: Option<Rat>,
     value: Rat,
     name: String,
+}
+
+impl VarState {
+    fn conflicting(&self) -> bool {
+        matches!((self.lower, self.upper), (Some(l), Some(u)) if l > u)
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -59,8 +84,15 @@ pub struct Simplex {
     rows: Vec<Row>,
     /// Basic var -> row index.
     row_of: HashMap<Var, usize>,
+    /// Non-basic var -> indices of rows whose coefficients mention it.
+    cols: HashMap<Var, BTreeSet<usize>>,
     /// Reuse slack variables for syntactically equal linear forms.
     slack_cache: HashMap<Vec<(Var, Rat)>, Var>,
+    /// Basic variables that may violate a bound (superset of the actual
+    /// violated set; lazily shrunk during [`check`](Simplex::check)).
+    suspect: BTreeSet<Var>,
+    /// Number of variables with `lower > upper`.
+    conflicts: usize,
     trail: Vec<TrailEntry>,
     levels: Vec<usize>,
     /// Pivot counter (statistics).
@@ -135,9 +167,21 @@ impl Simplex {
     pub fn pop(&mut self) {
         let mark = self.levels.pop().expect("pop without matching push");
         while self.trail.len() > mark {
-            match self.trail.pop().unwrap() {
-                TrailEntry::Lower(v, old) => self.vars[v.index()].lower = old,
-                TrailEntry::Upper(v, old) => self.vars[v.index()].upper = old,
+            let (v, entry_is_lower, old) = match self.trail.pop().unwrap() {
+                TrailEntry::Lower(v, old) => (v, true, old),
+                TrailEntry::Upper(v, old) => (v, false, old),
+            };
+            let st = &mut self.vars[v.index()];
+            let was_conflict = st.conflicting();
+            if entry_is_lower {
+                st.lower = old;
+            } else {
+                st.upper = old;
+            }
+            // Bounds only tighten within a level, so restoring relaxes:
+            // conflicts can disappear but never appear here.
+            if was_conflict && !st.conflicting() {
+                self.conflicts -= 1;
             }
         }
     }
@@ -153,16 +197,23 @@ impl Simplex {
         if st.lower.is_some_and(|l| l >= bound) {
             return LpResult::Feasible;
         }
-        if st.upper.is_some_and(|u| u < bound) {
+        let was_conflict = st.conflicting();
+        self.trail.push(TrailEntry::Lower(v, st.lower));
+        let conflict_now = st.upper.is_some_and(|u| u < bound);
+        self.vars[v.index()].lower = Some(bound);
+        if conflict_now {
             // Record the tightening anyway so that pop() restores it; the
             // state is conflicting until then.
-            self.trail.push(TrailEntry::Lower(v, st.lower));
-            self.vars[v.index()].lower = Some(bound);
+            if !was_conflict {
+                self.conflicts += 1;
+            }
             return LpResult::Infeasible;
         }
-        self.trail.push(TrailEntry::Lower(v, st.lower));
-        self.vars[v.index()].lower = Some(bound);
-        if !self.is_basic(v) && self.vars[v.index()].value < bound {
+        if self.is_basic(v) {
+            if self.vars[v.index()].value < bound {
+                self.suspect.insert(v);
+            }
+        } else if self.vars[v.index()].value < bound {
             self.update(v, bound);
         }
         LpResult::Feasible
@@ -175,17 +226,49 @@ impl Simplex {
         if st.upper.is_some_and(|u| u <= bound) {
             return LpResult::Feasible;
         }
-        if st.lower.is_some_and(|l| l > bound) {
-            self.trail.push(TrailEntry::Upper(v, st.upper));
-            self.vars[v.index()].upper = Some(bound);
+        let was_conflict = st.conflicting();
+        self.trail.push(TrailEntry::Upper(v, st.upper));
+        let conflict_now = st.lower.is_some_and(|l| l > bound);
+        self.vars[v.index()].upper = Some(bound);
+        if conflict_now {
+            if !was_conflict {
+                self.conflicts += 1;
+            }
             return LpResult::Infeasible;
         }
-        self.trail.push(TrailEntry::Upper(v, st.upper));
-        self.vars[v.index()].upper = Some(bound);
-        if !self.is_basic(v) && self.vars[v.index()].value > bound {
+        if self.is_basic(v) {
+            if self.vars[v.index()].value > bound {
+                self.suspect.insert(v);
+            }
+        } else if self.vars[v.index()].value > bound {
             self.update(v, bound);
         }
         LpResult::Feasible
+    }
+
+    /// If `v` is non-basic with a fractional value, snaps it to a nearby
+    /// integer consistent with its bounds. Used when a variable is
+    /// *reactivated* after its constraints were popped: its value is
+    /// stale junk from an abandoned search branch, and leaving it
+    /// fractional would force pointless integrality branching on every
+    /// subsequent check.
+    pub fn snap_to_integer(&mut self, v: Var) {
+        if self.is_basic(v) {
+            return;
+        }
+        let val = self.vars[v.index()].value;
+        if val.is_integer() {
+            return;
+        }
+        let mut target = Rat::from(val.floor());
+        let st = &self.vars[v.index()];
+        if st.lower.is_some_and(|l| target < l) {
+            target = Rat::from(val.ceil());
+        }
+        if st.upper.is_some_and(|u| target > u) || st.lower.is_some_and(|l| target < l) {
+            return; // no integer point between the bounds' fractional gap
+        }
+        self.update(v, target);
     }
 
     /// Asserts a normalised [`Constraint`]. Single-variable constraints
@@ -262,26 +345,31 @@ impl Simplex {
                 }
             }
         }
+        let idx = self.rows.len();
         for (&w, &kw) in &coeffs {
             value += kw * self.vars[w.index()].value;
+            self.cols.entry(w).or_default().insert(idx);
         }
         self.vars[s.index()].value = value;
-        self.row_of.insert(s, self.rows.len());
+        self.row_of.insert(s, idx);
         self.rows.push(Row { basic: s, coeffs });
         self.slack_cache.insert(key, s);
         s
     }
 
     /// Sets the value of a non-basic variable, propagating through the
-    /// tableau.
+    /// rows that mention it (via the column index).
     fn update(&mut self, v: Var, value: Rat) {
         let delta = value - self.vars[v.index()].value;
         if delta.is_zero() {
             return;
         }
-        for row in &self.rows {
-            if let Some(&k) = row.coeffs.get(&v) {
-                self.vars[row.basic.index()].value += k * delta;
+        if let Some(rows) = self.cols.get(&v) {
+            for &idx in rows.iter() {
+                let k = self.rows[idx].coeffs[&v];
+                let basic = self.rows[idx].basic;
+                self.vars[basic.index()].value += k * delta;
+                self.suspect.insert(basic);
             }
         }
         self.vars[v.index()].value = value;
@@ -295,22 +383,31 @@ impl Simplex {
         let a_ij = self.rows[r].coeffs[&xj];
         let theta = (target - self.vars[xi.index()].value) / a_ij;
 
-        // Value updates.
+        // Value updates: only rows that mention xj change.
         self.vars[xi.index()].value = target;
         self.vars[xj.index()].value += theta;
-        for (idx, row) in self.rows.iter().enumerate() {
+        let xj_rows: Vec<usize> = self.cols.get(&xj).into_iter().flatten().copied().collect();
+        for &idx in &xj_rows {
             if idx == r {
                 continue;
             }
-            if let Some(&k) = row.coeffs.get(&xj) {
-                self.vars[row.basic.index()].value += k * theta;
-            }
+            let k = self.rows[idx].coeffs[&xj];
+            let basic = self.rows[idx].basic;
+            self.vars[basic.index()].value += k * theta;
+            self.suspect.insert(basic);
         }
+        // xj enters the basis and may now violate its own bounds.
+        self.suspect.insert(xj);
 
         // Tableau pivot: solve row r for xj.
         //   xi = a_ij·xj + Σ_k a_ik·xk
         //   xj = (1/a_ij)·xi − Σ_k (a_ik/a_ij)·xk
         let old_coeffs = std::mem::take(&mut self.rows[r].coeffs);
+        for v in old_coeffs.keys() {
+            if let Some(set) = self.cols.get_mut(v) {
+                set.remove(&r);
+            }
+        }
         let inv = a_ij.recip();
         let mut new_coeffs: BTreeMap<Var, Rat> = BTreeMap::new();
         new_coeffs.insert(xi, inv);
@@ -322,25 +419,54 @@ impl Simplex {
                 }
             }
         }
-        // Substitute xj's new definition into every other row.
-        for (idx, row) in self.rows.iter_mut().enumerate() {
+        // Substitute xj's new definition into every row that mentions it.
+        for &idx in &xj_rows {
             if idx == r {
                 continue;
             }
-            if let Some(k) = row.coeffs.remove(&xj) {
-                for (&w, &kw) in &new_coeffs {
-                    let e = row.coeffs.entry(w).or_default();
-                    *e += k * kw;
-                    if e.is_zero() {
-                        row.coeffs.remove(&w);
-                    }
+            let k = self.rows[idx]
+                .coeffs
+                .remove(&xj)
+                .expect("column index row mentions xj");
+            for (&w, &kw) in &new_coeffs {
+                let e = self.rows[idx].coeffs.entry(w).or_default();
+                let was_present = !e.is_zero();
+                *e += k * kw;
+                if e.is_zero() {
+                    self.rows[idx].coeffs.remove(&w);
+                    self.cols.entry(w).or_default().remove(&idx);
+                } else if !was_present {
+                    self.cols.entry(w).or_default().insert(idx);
                 }
             }
+        }
+        if let Some(set) = self.cols.get_mut(&xj) {
+            set.clear();
+        }
+        for &w in new_coeffs.keys() {
+            self.cols.entry(w).or_default().insert(r);
         }
         self.rows[r].basic = xj;
         self.rows[r].coeffs = new_coeffs;
         self.row_of.remove(&xi);
         self.row_of.insert(xj, r);
+    }
+
+    /// Whether a basic variable currently violates one of its bounds,
+    /// and if so which bound it must be driven to.
+    fn violation(&self, b: Var) -> Option<(Rat, bool)> {
+        let st = &self.vars[b.index()];
+        if let Some(l) = st.lower {
+            if st.value < l {
+                return Some((l, true));
+            }
+        }
+        if let Some(u) = st.upper {
+            if st.value > u {
+                return Some((u, false));
+            }
+        }
+        None
     }
 
     /// Restores feasibility of basic variables by pivoting (Bland's rule:
@@ -349,35 +475,34 @@ impl Simplex {
     /// cycling).
     pub fn check(&mut self) -> LpResult {
         // Bounds asserted while conflicting (assert_* returned Infeasible)
-        // leave lower > upper somewhere; detect that first.
-        for st in &self.vars {
-            if let (Some(l), Some(u)) = (st.lower, st.upper) {
-                if l > u {
-                    return LpResult::Infeasible;
-                }
-            }
+        // leave lower > upper somewhere; the counter tracks that.
+        if self.conflicts > 0 {
+            return LpResult::Infeasible;
         }
         loop {
-            // Smallest violated basic variable.
-            let mut violated: Option<(usize, Var, Rat, bool)> = None;
-            for (idx, row) in self.rows.iter().enumerate() {
-                let b = row.basic;
-                let st = &self.vars[b.index()];
-                if let Some(l) = st.lower {
-                    if st.value < l {
-                        if violated.is_none_or(|(_, v, _, _)| b < v) {
-                            violated = Some((idx, b, l, true));
+            // Smallest violated basic variable. Every violated basic var
+            // is in `suspect` (only value changes and bound tightenings
+            // create violations, and both insert), so scanning the
+            // suspect set in ascending order implements Bland's rule.
+            let mut violated: Option<(usize, Rat, bool)> = None;
+            let mut cleared: Vec<Var> = Vec::new();
+            for &b in self.suspect.iter() {
+                match self.row_of.get(&b) {
+                    Some(&idx) => match self.violation(b) {
+                        Some((target, need_increase)) => {
+                            violated = Some((idx, target, need_increase));
+                            break;
                         }
-                        continue;
-                    }
-                }
-                if let Some(u) = st.upper {
-                    if st.value > u && violated.is_none_or(|(_, v, _, _)| b < v) {
-                        violated = Some((idx, b, u, false));
-                    }
+                        None => cleared.push(b),
+                    },
+                    // Non-basic variables always satisfy their bounds.
+                    None => cleared.push(b),
                 }
             }
-            let Some((r, _, target, need_increase)) = violated else {
+            for b in cleared {
+                self.suspect.remove(&b);
+            }
+            let Some((r, target, need_increase)) = violated else {
                 return LpResult::Feasible;
             };
             // Smallest eligible non-basic variable in row r.
@@ -399,26 +524,42 @@ impl Simplex {
                 }
             }
             match entering {
-                Some(xj) => self.pivot_and_update(r, xj, target),
+                Some(xj) => {
+                    let xi = self.rows[r].basic;
+                    self.pivot_and_update(r, xj, target);
+                    // xi left the basis at exactly its violated bound.
+                    self.suspect.remove(&xi);
+                }
                 None => return LpResult::Infeasible,
             }
         }
     }
 
-    /// Verifies the internal invariant that every basic variable's value
-    /// equals its row evaluated at the non-basic values. Used by tests.
+    /// Verifies the internal invariants: every basic variable's value
+    /// equals its row evaluated at the non-basic values, and the column
+    /// index matches the rows. Used by tests.
     #[doc(hidden)]
     pub fn debug_check_invariants(&self) -> bool {
-        for row in &self.rows {
+        for (idx, row) in self.rows.iter().enumerate() {
             let mut acc = Rat::ZERO;
             for (&v, &k) in &row.coeffs {
                 if self.is_basic(v) {
                     return false; // rows must mention only non-basic vars
                 }
+                if !self.cols.get(&v).is_some_and(|set| set.contains(&idx)) {
+                    return false; // column index must cover every coeff
+                }
                 acc += k * self.vars[v.index()].value;
             }
             if acc != self.vars[row.basic.index()].value {
                 return false;
+            }
+        }
+        for (v, set) in &self.cols {
+            for &idx in set {
+                if !self.rows[idx].coeffs.contains_key(v) {
+                    return false; // no stale column entries
+                }
             }
         }
         true
@@ -453,6 +594,26 @@ mod tests {
         assert_eq!(s.assert_lower(x, Rat::from(5)), LpResult::Feasible);
         assert_eq!(s.assert_upper(x, Rat::from(3)), LpResult::Infeasible);
         assert_eq!(s.check(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn conflict_counter_pops_back() {
+        let mut s = Simplex::new();
+        let x = s.new_var("x");
+        s.assert_lower(x, Rat::from(5));
+        s.push();
+        assert_eq!(s.assert_upper(x, Rat::from(3)), LpResult::Infeasible);
+        assert_eq!(s.check(), LpResult::Infeasible);
+        s.pop();
+        assert_eq!(s.check(), LpResult::Feasible);
+        s.push();
+        assert_eq!(s.assert_upper(x, Rat::from(4)), LpResult::Infeasible);
+        s.push();
+        s.assert_upper(x, Rat::from(2));
+        s.pop();
+        assert_eq!(s.check(), LpResult::Infeasible);
+        s.pop();
+        assert_eq!(s.check(), LpResult::Feasible);
     }
 
     #[test]
@@ -564,5 +725,35 @@ mod tests {
         ));
         assert_eq!(s.check(), LpResult::Feasible);
         assert!(s.value(x) - s.value(y) >= Rat::from(100));
+    }
+
+    #[test]
+    fn repeated_incremental_checks_stay_consistent() {
+        // A long push/assert/check/pop session exercising the column
+        // index and the suspect set across backtracking.
+        let mut s = Simplex::new();
+        let vars: Vec<Var> = (0..6).map(|i| s.new_var(format!("v{i}"))).collect();
+        for &v in &vars {
+            s.assert_lower(v, Rat::ZERO);
+        }
+        s.assert_constraint(&Constraint::ge(
+            expr(&[(vars[0], 1), (vars[1], 1), (vars[2], 1)], 0),
+            LinExpr::constant(10),
+        ));
+        assert_eq!(s.check(), LpResult::Feasible);
+        for round in 0..20 {
+            s.push();
+            s.assert_constraint(&Constraint::ge(
+                expr(&[(vars[3], 1), (vars[round % 3], 2)], 0),
+                LinExpr::constant(round as i64),
+            ));
+            s.assert_constraint(&Constraint::le(LinExpr::var(vars[3]), LinExpr::constant(5)));
+            let r = s.check();
+            assert_eq!(r, LpResult::Feasible, "round {round}");
+            assert!(s.debug_check_invariants(), "round {round}");
+            s.pop();
+        }
+        assert_eq!(s.check(), LpResult::Feasible);
+        assert!(s.debug_check_invariants());
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::constraint::Constraint;
 use crate::formula::Formula;
+use crate::intern::{InternStats, Interner};
 use crate::linexpr::Var;
 use crate::model::{Model, SatResult, UnknownReason};
 use crate::rat::Rat;
@@ -36,6 +37,22 @@ pub struct SolverStats {
     pub case_splits: u64,
     /// Simplex pivots performed.
     pub pivots: u64,
+    /// Constraint-interner cache hits (see [`Interner`]).
+    pub intern_hits: u64,
+    /// Constraint-interner cache misses.
+    pub intern_misses: u64,
+}
+
+impl SolverStats {
+    /// Merges another stats record into this one (component-wise sum).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.checks += other.checks;
+        self.branch_nodes += other.branch_nodes;
+        self.case_splits += other.case_splits;
+        self.pivots += other.pivots;
+        self.intern_hits += other.intern_hits;
+        self.intern_misses += other.intern_misses;
+    }
 }
 
 struct Budget {
@@ -43,14 +60,31 @@ struct Budget {
     case_splits: u64,
 }
 
+/// Assertions recorded at one backtracking level.
+///
+/// Conjunctive content (atoms, `And`s) is asserted into the simplex
+/// *eagerly*, at assertion time; only disjunctions are deferred to
+/// [`Solver::check`], which case-splits over them. This keeps the cost
+/// of a check proportional to the disjunctive content of the current
+/// stack rather than to the total number of assertions — the decisive
+/// difference for the model checker, whose schedule DFS re-checks a
+/// slowly-changing conjunction thousands of times.
+#[derive(Default)]
+struct Level {
+    /// Deferred disjunctions (already in NNF).
+    pending: Vec<Formula>,
+    /// A trivially false formula was asserted at this level.
+    unsat: bool,
+}
+
 /// A satisfiability solver for quantifier-free linear **integer**
 /// arithmetic.
 ///
 /// All variables range over ℤ (helpers create ℕ-constrained ones).
-/// Internally: case splitting over disjunctions, an exact-rational
-/// simplex for the relaxation, and branch-and-bound for integrality.
-/// Resource budgets turn runaway searches into
-/// [`SatResult::Unknown`] rather than wrong verdicts.
+/// Internally: eager incremental assertion of conjunctive content into
+/// an exact-rational simplex, case splitting over disjunctions, and
+/// branch-and-bound for integrality. Resource budgets turn runaway
+/// searches into [`SatResult::Unknown`] rather than wrong verdicts.
 ///
 /// # Examples
 ///
@@ -70,8 +104,9 @@ struct Budget {
 pub struct Solver {
     simplex: Simplex,
     user_vars: Vec<Var>,
-    /// Asserted formulas per level; `stack[0]` is the base level.
-    stack: Vec<Vec<Formula>>,
+    /// One entry per backtracking level; `levels[0]` is the base level.
+    levels: Vec<Level>,
+    interner: Interner,
     config: SolverConfig,
     stats: SolverStats,
 }
@@ -93,7 +128,8 @@ impl Solver {
         Solver {
             simplex: Simplex::new(),
             user_vars: Vec::new(),
-            stack: vec![Vec::new()],
+            levels: vec![Level::default()],
+            interner: Interner::new(),
             config,
             stats: SolverStats::default(),
         }
@@ -107,6 +143,10 @@ impl Solver {
     }
 
     /// Allocates an integer variable constrained to be `>= 0`.
+    ///
+    /// The bound is recorded at the *current* level; callers that reuse
+    /// the variable after popping past its creation level must re-assert
+    /// the bound (see [`Solver::assert_nonneg`]).
     pub fn new_nonneg_var(&mut self, name: impl Into<String>) -> Var {
         let v = self.new_var(name);
         let r = self.simplex.assert_lower(v, Rat::ZERO);
@@ -114,24 +154,68 @@ impl Solver {
         v
     }
 
+    /// Re-asserts `v >= 0` at the current level and snaps a stale
+    /// fractional value back onto the integer grid. This is the
+    /// reactivation hook for pooled variables whose original constraints
+    /// were popped: without the snap, junk values left by abandoned
+    /// search branches would trigger integrality branching on every
+    /// later check.
+    pub fn assert_nonneg(&mut self, v: Var) {
+        let _ = self.simplex.assert_lower(v, Rat::ZERO);
+        self.simplex.snap_to_integer(v);
+    }
+
     /// The name a variable was created with.
     pub fn var_name(&self, v: Var) -> &str {
         self.simplex.var_name(v)
     }
 
+    /// A handle to the constraint interner, for callers that construct
+    /// the same constraints repeatedly. Its hit/miss counters are
+    /// reported through [`Solver::stats`].
+    pub fn interner(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
     /// Asserts a formula at the current level.
+    ///
+    /// Conjunctive content reaches the simplex immediately; disjunctions
+    /// are deferred to [`Solver::check`].
     pub fn assert(&mut self, f: Formula) {
-        self.stack.last_mut().unwrap().push(f);
+        let nnf = f.to_nnf();
+        self.assert_nnf(nnf);
+    }
+
+    fn assert_nnf(&mut self, f: Formula) {
+        match f {
+            Formula::True => {}
+            Formula::False => self.levels.last_mut().unwrap().unsat = true,
+            Formula::Atom(c) => {
+                // An infeasible result here is not an error: the simplex
+                // records the conflicting bound on its trail and the
+                // conflict persists (and is reported by check) until the
+                // enclosing level is popped.
+                let _ = self.simplex.assert_constraint(&c);
+            }
+            Formula::And(fs) => {
+                for g in fs {
+                    self.assert_nnf(g);
+                }
+            }
+            f @ Formula::Or(_) => self.levels.last_mut().unwrap().pending.push(f),
+            Formula::Not(_) => unreachable!("to_nnf eliminates negation"),
+        }
     }
 
     /// Asserts a single constraint at the current level.
     pub fn assert_constraint(&mut self, c: Constraint) {
-        self.assert(Formula::Atom(c));
+        self.assert(Formula::atom(c));
     }
 
     /// Opens a backtracking level.
     pub fn push(&mut self) {
-        self.stack.push(Vec::new());
+        self.levels.push(Level::default());
+        self.simplex.push();
     }
 
     /// Discards all assertions made since the matching [`push`](Solver::push).
@@ -140,26 +224,41 @@ impl Solver {
     ///
     /// Panics if there is no open level.
     pub fn pop(&mut self) {
-        assert!(self.stack.len() > 1, "pop without matching push");
-        self.stack.pop();
+        assert!(self.levels.len() > 1, "pop without matching push");
+        self.levels.pop();
+        self.simplex.pop();
+    }
+
+    /// `(rows, vars)` of the simplex tableau (a size statistic).
+    pub fn tableau_size(&self) -> (usize, usize) {
+        (self.simplex.num_rows(), self.simplex.num_vars())
     }
 
     /// Cumulative statistics.
     pub fn stats(&self) -> SolverStats {
         let mut s = self.stats;
         s.pivots = self.simplex.pivot_count();
+        let InternStats { hits, misses } = self.interner.stats();
+        s.intern_hits = hits;
+        s.intern_misses = misses;
         s
     }
 
     /// Decides satisfiability of the conjunction of all asserted formulas
     /// over the integers.
+    ///
+    /// The conjunctive content is already in the simplex, so the work
+    /// here is proportional to the number of *deferred disjunctions*
+    /// plus branch-and-bound, not to the total assertion count.
     pub fn check(&mut self) -> SatResult {
         self.stats.checks += 1;
+        if self.levels.iter().any(|l| l.unsat) {
+            return SatResult::Unsat;
+        }
         let goals: Vec<Formula> = self
-            .stack
+            .levels
             .iter()
-            .flat_map(|level| level.iter())
-            .map(|f| f.to_nnf())
+            .flat_map(|level| level.pending.iter().cloned())
             .collect();
         let mut budget = Budget {
             branch_nodes: self.config.max_branch_nodes,
@@ -171,8 +270,9 @@ impl Solver {
         result
     }
 
-    /// DFS over disjunctions. Precondition: the caller opened a simplex
-    /// level that this call may populate; the caller pops it.
+    /// DFS over disjunctions. Precondition: formulas in `pending` are in
+    /// NNF, and the caller opened a simplex level that this call may
+    /// populate; the caller pops it.
     fn search(&mut self, pending: Vec<Formula>, budget: &mut Budget) -> SatResult {
         let mut queue = pending;
         let mut disjunctions: Vec<Vec<Formula>> = Vec::new();
@@ -498,6 +598,35 @@ mod tests {
     }
 
     #[test]
+    fn push_pop_with_disjunctions() {
+        let mut s = Solver::new();
+        let x = s.new_nonneg_var("x");
+        s.push();
+        s.assert(Formula::or([
+            Constraint::ge(LinExpr::var(x), LinExpr::constant(10)).into(),
+            Constraint::le(LinExpr::var(x), LinExpr::constant(2)).into(),
+        ]));
+        s.assert_constraint(Constraint::ge(LinExpr::var(x), LinExpr::constant(3)));
+        s.assert_constraint(Constraint::le(LinExpr::var(x), LinExpr::constant(9)));
+        assert!(s.check().is_unsat());
+        s.pop();
+        // The popped disjunction and bounds must be gone.
+        assert!(s.check().is_sat());
+    }
+
+    #[test]
+    fn asserted_false_is_scoped_to_its_level() {
+        let mut s = Solver::new();
+        let _x = s.new_nonneg_var("x");
+        s.push();
+        s.assert(Formula::False);
+        assert!(s.check().is_unsat());
+        assert!(s.check().is_unsat(), "unsat flag persists across checks");
+        s.pop();
+        assert!(s.check().is_sat());
+    }
+
+    #[test]
     fn implication() {
         let mut s = Solver::new();
         let x = s.new_nonneg_var("x");
@@ -553,5 +682,43 @@ mod tests {
         let _ = s.check();
         let _ = s.check();
         assert_eq!(s.stats().checks, 2);
+    }
+
+    #[test]
+    fn interner_stats_flow_through_solver_stats() {
+        let mut s = Solver::new();
+        let x = s.new_var("x");
+        let a = s.interner().ge(LinExpr::var(x), LinExpr::constant(1));
+        let b = s.interner().ge(LinExpr::var(x), LinExpr::constant(1));
+        assert_eq!(a, b);
+        s.assert_constraint(a);
+        assert!(s.check().is_sat());
+        let stats = s.stats();
+        assert_eq!(stats.intern_hits, 1);
+        assert_eq!(stats.intern_misses, 1);
+    }
+
+    #[test]
+    fn stats_merge_is_componentwise() {
+        let mut a = SolverStats {
+            checks: 1,
+            branch_nodes: 2,
+            case_splits: 3,
+            pivots: 4,
+            intern_hits: 5,
+            intern_misses: 6,
+        };
+        let b = SolverStats {
+            checks: 10,
+            branch_nodes: 20,
+            case_splits: 30,
+            pivots: 40,
+            intern_hits: 50,
+            intern_misses: 60,
+        };
+        a.merge(&b);
+        assert_eq!(a.checks, 11);
+        assert_eq!(a.pivots, 44);
+        assert_eq!(a.intern_misses, 66);
     }
 }

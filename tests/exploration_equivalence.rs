@@ -1,0 +1,211 @@
+//! Equivalence of the cross-property exploration cache with the
+//! independent per-property DFS.
+//!
+//! `CheckerConfig::share_exploration = true` (the default) replays and
+//! prunes the schedule lattice from recordings made by earlier
+//! properties of the same automaton; `false` restores the old fully
+//! independent DFS. The two must be **observably identical** — same
+//! verdicts (byte-for-byte, including counterexamples), same schema
+//! counts, same average schema lengths — on every automaton of the
+//! paper's Table 2. Both sides run with `threads = Some(1)` so the
+//! exploration order is byte-deterministic.
+
+use holistic_checker::{CheckReport, Checker, CheckerConfig, Strategy};
+use holistic_ltl::{Justice, Ltl};
+use holistic_models::{BvBroadcastModel, NaiveConsensusModel, SimplifiedConsensusModel};
+use holistic_ta::ThresholdAutomaton;
+
+fn checker(share: bool, max_schemas: usize) -> Checker {
+    Checker::with_config(CheckerConfig {
+        share_exploration: share,
+        threads: Some(1),
+        max_schemas,
+        strategy: Strategy::Enumerate,
+        ..CheckerConfig::default()
+    })
+}
+
+/// Runs every property through both checkers (one shared cache across
+/// the whole sequence — the point of the exercise) and asserts the
+/// reports are observably identical.
+fn assert_equivalent(
+    ta: &ThresholdAutomaton,
+    specs: &[(&'static str, Ltl)],
+    justice: &Justice,
+    max_schemas: usize,
+) -> Vec<(CheckReport, CheckReport)> {
+    let shared = checker(true, max_schemas);
+    let independent = checker(false, max_schemas);
+    let mut reports = Vec::new();
+    for (name, spec) in specs {
+        let with_cache = shared.check_ltl(ta, spec, justice).expect("in fragment");
+        let without = independent
+            .check_ltl(ta, spec, justice)
+            .expect("in fragment");
+        assert_eq!(
+            format!("{:?}", with_cache.verdict()),
+            format!("{:?}", without.verdict()),
+            "{name}: verdicts (incl. counterexamples) must be byte-identical"
+        );
+        assert_eq!(
+            with_cache.total_schemas(),
+            without.total_schemas(),
+            "{name}: schema counts must match"
+        );
+        assert_eq!(
+            with_cache.avg_segments(),
+            without.avg_segments(),
+            "{name}: average schema length must match"
+        );
+        assert_eq!(
+            with_cache.queries.len(),
+            without.queries.len(),
+            "{name}: query decomposition must match"
+        );
+        for (q_cache, q_plain) in with_cache.queries.iter().zip(&without.queries) {
+            assert_eq!(
+                q_cache.stats.schemas, q_plain.stats.schemas,
+                "{name}: per-query schema counts must match"
+            );
+            assert_eq!(
+                q_cache.stats.capped, q_plain.stats.capped,
+                "{name}: cap behaviour must match"
+            );
+        }
+        reports.push((with_cache, without));
+    }
+    reports
+}
+
+#[test]
+fn bv_broadcast_cached_equals_independent() {
+    let model = BvBroadcastModel::new();
+    let justice = model.justice();
+    let reports = assert_equivalent(&model.ta, &model.table2_specs(), &justice, 100_000);
+    // Every property after the first must have touched the cache.
+    for ((with_cache, _), (name, _)) in reports.iter().zip(model.table2_specs()).skip(1) {
+        assert!(
+            with_cache.total_cache_hits() > 0,
+            "{name}: expected cache hits after the first property"
+        );
+    }
+}
+
+#[test]
+fn simplified_consensus_cached_equals_independent() {
+    let model = SimplifiedConsensusModel::new();
+    let justice = model.justice();
+    let reports = assert_equivalent(&model.ta, &model.table2_specs(), &justice, 100_000);
+    for ((with_cache, _), (name, _)) in reports.iter().zip(model.table2_specs()).skip(1) {
+        assert!(
+            with_cache.total_cache_hits() > 0,
+            "{name}: expected cache hits after the first property"
+        );
+    }
+}
+
+#[test]
+fn naive_capped_cached_equals_independent() {
+    // The naive automaton blows through any practical cap (Table 2's
+    // ">100 000 schemas, timeout" rows); equivalence must hold for the
+    // capped Unknown verdicts too, with the cap firing at the same
+    // schema count on both sides.
+    let model = NaiveConsensusModel::new();
+    let justice = model.justice();
+    assert_equivalent(&model.ta, &model.table2_specs(), &justice, 40);
+}
+
+#[test]
+fn work_stealing_pool_matches_single_thread() {
+    // The parallel DFS (work-stealing frontier, donation on idle) must
+    // produce the same verdicts and schema counts as the inline
+    // single-threaded walk — schema *count* is scheduling-independent
+    // because exploration always completes the feasible frontier.
+    let model = BvBroadcastModel::new();
+    let justice = model.justice();
+    for share in [true, false] {
+        let pooled = Checker::with_config(CheckerConfig {
+            share_exploration: share,
+            threads: Some(4),
+            ..CheckerConfig::default()
+        });
+        let inline = Checker::with_config(CheckerConfig {
+            share_exploration: share,
+            threads: Some(1),
+            ..CheckerConfig::default()
+        });
+        for (name, spec) in model.table2_specs() {
+            let par = pooled
+                .check_ltl(&model.ta, &spec, &justice)
+                .expect("in fragment");
+            let seq = inline
+                .check_ltl(&model.ta, &spec, &justice)
+                .expect("in fragment");
+            assert_eq!(
+                format!("{:?}", par.verdict()),
+                format!("{:?}", seq.verdict()),
+                "{name} (share={share}): pooled verdict must match inline"
+            );
+            assert_eq!(
+                par.total_schemas(),
+                seq.total_schemas(),
+                "{name} (share={share}): pooled schema count must match inline"
+            );
+            assert!(par.queries.iter().all(|q| q.stats.threads == 4), "{name}");
+        }
+    }
+}
+
+#[test]
+fn violation_counterexamples_are_identical() {
+    // Weakened resilience n > 2t: Inv1_0 is violated. The cached and
+    // independent explorations must find (and replay) the *same*
+    // counterexample.
+    let model = SimplifiedConsensusModel::with_resilience(2);
+    let justice = model.justice();
+    let shared = checker(true, 100_000);
+    let independent = checker(false, 100_000);
+    let spec = model.inv1(0);
+    let with_cache = shared
+        .check_ltl(&model.ta, &spec, &justice)
+        .expect("in fragment");
+    let without = independent
+        .check_ltl(&model.ta, &spec, &justice)
+        .expect("in fragment");
+    assert!(with_cache.verdict().is_violated(), "Inv1_0 under n > 2t");
+    assert_eq!(
+        format!("{:?}", with_cache.verdict()),
+        format!("{:?}", without.verdict()),
+        "counterexamples must be byte-identical"
+    );
+}
+
+#[test]
+fn second_property_hits_the_cache() {
+    // The cheap pair from the simplified-consensus block: after Inv2_0
+    // has populated the cache, Dec_0's exploration must be answered (at
+    // least partially) from it — nonzero hit counters, and a hit rate
+    // the stats actually expose.
+    let model = SimplifiedConsensusModel::new();
+    let justice = model.justice();
+    let shared = checker(true, 100_000);
+    let specs = model.table2_specs();
+    let (_, inv2) = &specs[1]; // Inv2_0
+    let (_, dec) = &specs[4]; // Dec_0
+    let first = shared
+        .check_ltl(&model.ta, inv2, &justice)
+        .expect("in fragment");
+    assert!(first.verdict().is_verified());
+    let second = shared
+        .check_ltl(&model.ta, dec, &justice)
+        .expect("in fragment");
+    assert!(second.verdict().is_verified());
+    assert!(
+        second.total_cache_hits() > 0,
+        "second property of a run must hit the exploration cache \
+         (got {} hits / {} misses)",
+        second.total_cache_hits(),
+        second.total_cache_misses(),
+    );
+    assert!(shared.cached_explorations() > 0);
+}
