@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p holistic-bench --bin table2_bench -- \
-//!     [--quick] [--iters N] [--threads N] [--out PATH] [--baseline PATH]
+//!     [--quick] [--iters N] [--threads N] [--out PATH] [--baseline PATH] \
+//!     [--automaton NAME] [--property NAME]
 //! ```
 //!
 //! Runs the full decomposed Table 2 matrix (bv-broadcast + simplified
@@ -16,9 +17,16 @@
 //! iterations. `--quick` is a single pass for CI smoke use.
 //!
 //! With `--baseline PATH`, the run is compared against a previously
-//! emitted file: the process exits nonzero if any verdict changed or any
-//! property got more than 3x slower — a coarse gate that survives noisy
-//! CI machines while still catching catastrophic regressions.
+//! emitted file: the process exits nonzero if any verdict changed, any
+//! property got more than 3x slower, or any deterministic solver
+//! statistic (checks, pivots, case splits) regressed beyond its own
+//! factor — wall time alone is too noisy on shared CI machines to
+//! either trust or fake.
+//!
+//! `--automaton NAME` / `--property NAME` (substring match, repeatable
+//! by intent via a comma list) restrict the matrix, so the dev loop on
+//! one hot property doesn't pay for the full run. Filtered runs skip
+//! the baseline *totals* block but still gate the selected rows.
 
 use std::env;
 use std::fmt::Write as _;
@@ -26,14 +34,24 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use holistic_bench::json::{escape, num, Json};
-use holistic_checker::{CheckReport, Checker, CheckerConfig, Verdict};
-use holistic_ltl::{Justice, Ltl};
+use holistic_checker::{CheckReport, Checker, CheckerConfig, MatrixJob, Verdict};
 use holistic_models::{BvBroadcastModel, SimplifiedConsensusModel};
-use holistic_ta::ThresholdAutomaton;
 
 /// Factor by which a property may slow down vs the baseline before the
 /// comparison fails.
 const REGRESSION_FACTOR: f64 = 3.0;
+
+/// Factor by which a *deterministic* solver statistic (checks, pivots,
+/// case splits) may grow vs the baseline before the comparison fails.
+/// These counters don't depend on machine speed, so the tolerance is
+/// much tighter than the wall-time gate — a noisy CI machine can
+/// neither mask nor fake a solver-work regression.
+const STAT_REGRESSION_FACTOR: f64 = 1.10;
+
+/// Absolute slack under which a statistic increase is ignored (tiny
+/// properties legitimately wobble by a handful of checks when encoding
+/// details change).
+const STAT_REGRESSION_SLACK: u64 = 64;
 
 struct PropResult {
     automaton: &'static str,
@@ -58,54 +76,90 @@ fn verdict_name(v: &Verdict) -> &'static str {
     }
 }
 
-fn run_block(
-    checker: &Checker,
-    automaton: &'static str,
-    ta: &ThresholdAutomaton,
-    specs: &[(&'static str, Ltl)],
-    justice: &Justice,
-) -> Vec<(String, CheckReport)> {
-    specs
-        .iter()
-        .map(|(name, spec)| {
-            let report = checker
-                .check_ltl(ta, spec, justice)
-                .unwrap_or_else(|e| panic!("{automaton}/{name}: {e}"));
-            (name.to_string(), report)
-        })
-        .collect()
+/// Row selection for the dev loop: comma-separated substring matches on
+/// the automaton and/or property name; `None` selects everything.
+struct Filter {
+    automaton: Option<String>,
+    property: Option<String>,
+}
+
+impl Filter {
+    fn matches_list(selector: &Option<String>, name: &str) -> bool {
+        match selector {
+            None => true,
+            Some(list) => list.split(',').any(|pat| name.contains(pat.trim())),
+        }
+    }
+
+    fn keep(&self, automaton: &str, property: &str) -> bool {
+        Self::matches_list(&self.automaton, automaton)
+            && Self::matches_list(&self.property, property)
+    }
+
+    fn is_full(&self) -> bool {
+        self.automaton.is_none() && self.property.is_none()
+    }
 }
 
 /// One full pass over the decomposed matrix with a cold shared cache.
-fn run_matrix(threads: Option<usize>) -> Vec<(&'static str, String, CheckReport)> {
+///
+/// `--threads N` with `N > 1` hands the properties to the checker's
+/// matrix scheduler: `N` workers pull whole properties off a shared
+/// queue (each property itself running the inline deterministic walk),
+/// so the dominant simplified-consensus properties overlap instead of
+/// serializing. `N <= 1` (and the default) is the sequential,
+/// byte-deterministic walk.
+fn run_matrix(threads: Option<usize>, filter: &Filter) -> Vec<(&'static str, String, CheckReport)> {
+    let workers = threads.unwrap_or(1);
     let checker = Checker::with_config(CheckerConfig {
-        threads,
+        // Property-level concurrency subsumes intra-property pooling
+        // here; each matrix job stays single-threaded internally.
+        threads: if workers > 1 { Some(1) } else { threads },
         ..CheckerConfig::default()
     });
-    let mut out = Vec::new();
     let bv = BvBroadcastModel::new();
     let bv_justice = bv.justice();
-    for (name, report) in run_block(
-        &checker,
-        "bv-broadcast",
-        &bv.ta,
-        &bv.table2_specs(),
-        &bv_justice,
-    ) {
-        out.push(("bv-broadcast", name, report));
-    }
+    let bv_specs: Vec<_> = bv
+        .table2_specs()
+        .into_iter()
+        .filter(|(name, _)| filter.keep("bv-broadcast", name))
+        .collect();
     let sc = SimplifiedConsensusModel::new();
     let sc_justice = sc.justice();
-    for (name, report) in run_block(
-        &checker,
-        "simplified-consensus",
-        &sc.ta,
-        &sc.table2_specs(),
-        &sc_justice,
-    ) {
-        out.push(("simplified-consensus", name, report));
+    let sc_specs: Vec<_> = sc
+        .table2_specs()
+        .into_iter()
+        .filter(|(name, _)| filter.keep("simplified-consensus", name))
+        .collect();
+
+    let mut labels: Vec<(&'static str, &'static str)> = Vec::new();
+    let mut jobs: Vec<MatrixJob<'_>> = Vec::new();
+    for (name, spec) in &bv_specs {
+        labels.push(("bv-broadcast", name));
+        jobs.push(MatrixJob {
+            ta: &bv.ta,
+            spec,
+            justice: &bv_justice,
+        });
     }
-    out
+    for (name, spec) in &sc_specs {
+        labels.push(("simplified-consensus", name));
+        jobs.push(MatrixJob {
+            ta: &sc.ta,
+            spec,
+            justice: &sc_justice,
+        });
+    }
+
+    let reports = checker.check_matrix(&jobs, workers);
+    labels
+        .into_iter()
+        .zip(reports)
+        .map(|((automaton, name), report)| {
+            let report = report.unwrap_or_else(|e| panic!("{automaton}/{name}: {e}"));
+            (automaton, name.to_string(), report)
+        })
+        .collect()
 }
 
 fn emit(results: &[PropResult], iters: usize, baseline: Option<(&str, f64, f64)>) -> String {
@@ -169,6 +223,16 @@ fn compare(results: &[PropResult], baseline: &Json) -> (Vec<String>, f64) {
         .get("properties")
         .and_then(|p| p.as_array())
         .unwrap_or(empty);
+    // Timing and solver-work gates only make sense against a baseline
+    // recorded at the same thread count; a cross-thread comparison
+    // (e.g. the CI threads=4 divergence check against the threads=1
+    // baseline) still gates everything deterministic — verdicts, schema
+    // counts, average segment lengths.
+    let base_threads = baseline
+        .get("threads")
+        .and_then(Json::as_f64)
+        .map_or(1, |t| t as usize);
+    let same_threads = results.first().is_none_or(|r| r.threads == base_threads);
     let mut base_total = 0.0;
     for r in results {
         let Some(base) = rows.iter().find(|row| {
@@ -188,16 +252,56 @@ fn compare(results: &[PropResult], baseline: &Json) -> (Vec<String>, f64) {
                 r.automaton, r.property, base_verdict, r.verdict
             ));
         }
+        if let Some(base_schemas) = base.get("schemas").and_then(Json::as_f64) {
+            if base_schemas as usize != r.schemas {
+                failures.push(format!(
+                    "{}/{}: schema count changed: {} -> {}",
+                    r.automaton, r.property, base_schemas as usize, r.schemas
+                ));
+            }
+        }
+        if let Some(base_avg) = base.get("avg_segments").and_then(Json::as_f64) {
+            // The emitter rounds (`num()`), so compare at its precision.
+            if num(base_avg) != num(r.avg_segments) {
+                failures.push(format!(
+                    "{}/{}: avg segments changed: {} -> {}",
+                    r.automaton, r.property, base_avg, r.avg_segments
+                ));
+            }
+        }
         let base_ms = base
             .get("wall_ms")
             .and_then(Json::as_f64)
             .unwrap_or(f64::INFINITY);
         base_total += base_ms;
+        if !same_threads {
+            continue; // deterministic gates only across thread counts
+        }
         if r.wall_ms > REGRESSION_FACTOR * base_ms {
             failures.push(format!(
                 "{}/{}: {:.0} ms vs baseline {:.0} ms (> {REGRESSION_FACTOR}x regression)",
                 r.automaton, r.property, r.wall_ms, base_ms
             ));
+        }
+        let base_solver = base.get("solver");
+        let stats: [(&str, u64); 3] = [
+            ("checks", r.solver.checks),
+            ("case_splits", r.solver.case_splits),
+            ("pivots", r.solver.pivots),
+        ];
+        for (stat, current) in stats {
+            let Some(base_stat) = base_solver.and_then(|s| s.get(stat)).and_then(Json::as_f64)
+            else {
+                continue; // pre-stats baseline: wall-time gate only
+            };
+            let limit = (base_stat * STAT_REGRESSION_FACTOR) + STAT_REGRESSION_SLACK as f64;
+            if current as f64 > limit {
+                failures.push(format!(
+                    "{}/{}: solver {stat} regressed: {current} vs baseline {base_stat:.0} \
+                     (> {STAT_REGRESSION_FACTOR}x + {STAT_REGRESSION_SLACK})",
+                    r.automaton, r.property,
+                ));
+            }
         }
     }
     (failures, base_total)
@@ -217,6 +321,10 @@ fn main() -> ExitCode {
     let threads: Option<usize> = flag_value("--threads").and_then(|s| s.parse().ok());
     let out_path = flag_value("--out").map_or("BENCH_table2.json", String::as_str);
     let baseline_path = flag_value("--baseline").map(String::as_str);
+    let filter = Filter {
+        automaton: flag_value("--automaton").cloned(),
+        property: flag_value("--property").cloned(),
+    };
 
     // Read the baseline up front: `--out` may point at the same file.
     let baseline = baseline_path.map(|path| {
@@ -231,11 +339,14 @@ fn main() -> ExitCode {
     );
     let mut results: Vec<PropResult> = Vec::new();
     for iter in 0..iters {
-        let pass = run_matrix(threads);
+        let pass = run_matrix(threads, &filter);
         for (idx, (automaton, property, report)) in pass.into_iter().enumerate() {
             let wall_ms = report.duration.as_secs_f64() * 1e3;
             if iter == 0 {
+                // Matrix-scheduled runs are 1 thread *per property*;
+                // report the scheduler width, not the inner walk's.
                 let stats_threads = report.queries.first().map_or(1, |q| q.stats.threads);
+                let stats_threads = threads.map_or(stats_threads, |t| t.max(stats_threads));
                 results.push(PropResult {
                     automaton,
                     property: property.clone(),
@@ -278,10 +389,17 @@ fn main() -> ExitCode {
         );
     }
 
+    if results.is_empty() {
+        eprintln!("no properties match the filter");
+        return ExitCode::FAILURE;
+    }
+
     let comparison = baseline.as_ref().map(|b| compare(&results, b));
+    // A filtered run still gates its rows but must not publish a
+    // misleading "matrix" speedup computed over a subset.
     let baseline_block = comparison.as_ref().and_then(|(_, base_total)| {
         let total: f64 = results.iter().map(|r| r.wall_ms).sum();
-        (*base_total > 0.0).then(|| {
+        (*base_total > 0.0 && filter.is_full()).then(|| {
             (
                 baseline_path.unwrap(),
                 *base_total,

@@ -11,7 +11,7 @@ use holistic_ta::{LocationId, ThresholdAutomaton, ValidationError};
 
 use crate::counterexample::{Counterexample, ReplayError};
 use crate::encode::{Encoding, SegmentKind};
-use crate::explore::{Exploration, ExplorationCache, ExplorationKey, Recorder};
+use crate::explore::{Exploration, ExplorationCache, ExplorationKey, Pruner, Recorder};
 use crate::guards::{GuardError, GuardInfo};
 
 /// How schemas are generated for the SMT backend.
@@ -732,9 +732,10 @@ impl Checker {
 enum CacheMode {
     /// No cache: every verdict is a fresh SMT check.
     Off,
-    /// Fresh exploration, recorded for later queries; an optional
-    /// weaker recorded base prunes infeasible subtrees.
-    Record { pruner: Option<Arc<Exploration>> },
+    /// Fresh exploration, recorded for later queries; recorded weaker
+    /// bases (aggregated over every overlapping banned-location set)
+    /// prune infeasible subtrees.
+    Record { pruner: Option<Pruner> },
     /// A complete recording under the identical key: feasibility is
     /// answered entirely from it.
     Replay(Arc<Exploration>),
@@ -816,6 +817,13 @@ struct Worker<'a> {
     solver: SolverStats,
 }
 
+/// Tableau rows past which a worker rebuilds its encoding from the
+/// current chain. The tableau only grows during a lattice walk, so rows
+/// from long-abandoned prefixes keep participating in every pivot
+/// substitution; rebuilding bounds that cost. Solver state affects only
+/// speed — verdicts, schema counts, and counterexamples are unchanged.
+const REBUILD_ROWS: usize = 768;
+
 impl<'a> Worker<'a> {
     fn new(ex: &'a Explore<'a>) -> Worker<'a> {
         Worker {
@@ -840,13 +848,7 @@ impl<'a> Worker<'a> {
     fn run(&mut self) {
         let ex = self.ex;
         let spec = ex.spec;
-        let mut enc = Encoding::new(
-            spec.ta,
-            spec.info,
-            spec.globally_empty,
-            ex.checker.config.solver,
-        );
-        enc.assert_prop_at(spec.initially, 0);
+        let mut enc = self.fresh_encoding();
         let mut chain: Vec<u64> = Vec::new();
         while let Some(prefix) = self.next_task() {
             for &ctx in &prefix {
@@ -872,7 +874,37 @@ impl<'a> Worker<'a> {
                 ex.available.notify_all();
             }
         }
-        self.solver = enc.solver_stats();
+        self.solver.merge(&enc.solver_stats());
+    }
+
+    /// A fresh encoding holding only the base assertions (no segments).
+    fn fresh_encoding(&self) -> Encoding<'a> {
+        let spec = self.ex.spec;
+        let mut enc = Encoding::new(
+            spec.ta,
+            spec.info,
+            spec.globally_empty,
+            self.ex.checker.config.solver,
+        );
+        enc.assert_prop_at(spec.initially, 0);
+        enc
+    }
+
+    /// Rebuilds `enc` from `chain` when the tableau has bloated past
+    /// [`REBUILD_ROWS`]: stale rows from abandoned prefixes slow every
+    /// pivot, and re-asserting the live chain is far cheaper than
+    /// dragging them along. Pure exact arithmetic makes this invisible
+    /// to results; only accumulated statistics must be carried over.
+    fn maybe_rebuild(&mut self, enc: &mut Encoding<'a>, chain: &[u64]) {
+        if enc.tableau_size().0 < REBUILD_ROWS {
+            return;
+        }
+        self.solver.merge(&enc.solver_stats());
+        let mut fresh = self.fresh_encoding();
+        for &ctx in chain {
+            fresh.push_segments(SegmentKind::Fixed(ctx), self.ex.spec.copies);
+        }
+        *enc = fresh;
     }
 
     /// Blocks until a task is available, the exploration stops, or the
@@ -920,7 +952,7 @@ impl<'a> Worker<'a> {
                 None => self.smt_feasibility(enc, chain, false),
             },
             CacheMode::Record { pruner } => {
-                if pruner.as_ref().and_then(|p| p.verdict(chain)) == Some(false) {
+                if pruner.as_ref().is_some_and(|p| p.prunes_chain(chain)) {
                     // Infeasible under a weaker base ⇒ infeasible here.
                     self.cache_hits += 1;
                     self.recorder.record(chain, false);
@@ -960,12 +992,13 @@ impl<'a> Worker<'a> {
 
     /// Precondition: `enc` holds the segments of `chain`, whose last
     /// context is the current node.
-    fn recurse(&mut self, enc: &mut Encoding<'_>, chain: &mut Vec<u64>) -> Result<(), CheckError> {
+    fn recurse(&mut self, enc: &mut Encoding<'a>, chain: &mut Vec<u64>) -> Result<(), CheckError> {
         let ex = self.ex;
         let spec = ex.spec;
         if ex.stop.load(Ordering::Relaxed) {
             return Ok(());
         }
+        self.maybe_rebuild(enc, chain);
         if ex.schemas.load(Ordering::Relaxed) >= ex.checker.config.max_schemas {
             self.capped = true;
             return Ok(());
@@ -1115,8 +1148,17 @@ impl QueryPlan {
     /// conjunction's `¬cond ∨ empty` disjunctions into linear
     /// constraints, avoiding exponential case splitting.
     fn assert_query(&self, enc: &mut Encoding<'_>, info: &GuardInfo) {
-        for w in &self.witnesses {
-            enc.assert_prop_somewhere(w);
+        // Register the query skeleton on first contact with this
+        // encoding (once per exploration, and again after a tableau
+        // rebuild); later asserts replay the cached per-boundary
+        // encodings and only translate the boundaries added since.
+        if enc.num_query_props() < self.witnesses.len() {
+            for w in &self.witnesses {
+                enc.register_query_prop(w);
+            }
+        }
+        for slot in 0..self.witnesses.len() {
+            enc.assert_query_prop_somewhere(slot);
         }
         let final_ctx = enc.final_context();
         let resolve = move |g: &holistic_ta::AtomicGuard| -> Option<bool> {

@@ -72,6 +72,17 @@ pub struct Encoding<'a> {
     /// `shared_exprs[b][v]` = value of shared variable `v` at boundary
     /// `b`; maintained like `counter_exprs`.
     shared_exprs: Vec<Vec<LinExpr>>,
+    /// Query skeleton: witness propositions registered once per
+    /// exploration (see
+    /// [`register_query_prop`](Encoding::register_query_prop)).
+    query_props: Vec<Prop>,
+    /// `query_forms[s][b]` = the translated formula of query prop `s` at
+    /// boundary `b`. Filled lazily: re-asserting the query at a deeper
+    /// lattice node only encodes the *new* boundaries (the per-schema
+    /// delta); shared-prefix boundaries replay their cached encodings.
+    /// Truncated with the boundaries on [`pop_segments`], since a later
+    /// push can give the same boundary index different factor variables.
+    query_forms: Vec<Vec<Formula>>,
 }
 
 impl<'a> Encoding<'a> {
@@ -142,6 +153,8 @@ impl<'a> Encoding<'a> {
             banned,
             counter_exprs,
             shared_exprs,
+            query_props: Vec::new(),
+            query_forms: Vec::new(),
         }
     }
 
@@ -303,6 +316,9 @@ impl<'a> Encoding<'a> {
         }
         self.counter_exprs.truncate(self.segments.len() + 1);
         self.shared_exprs.truncate(self.segments.len() + 1);
+        for forms in &mut self.query_forms {
+            forms.truncate(self.segments.len() + 1);
+        }
     }
 
     /// The distinct fixed contexts of the pushed segments, in order
@@ -443,6 +459,47 @@ impl<'a> Encoding<'a> {
     /// Asserts that a proposition holds at *some* boundary.
     pub fn assert_prop_somewhere(&mut self, prop: &Prop) {
         let f = Formula::or((0..self.num_boundaries()).map(|b| self.prop_at(prop, b)));
+        self.solver.assert(f);
+    }
+
+    /// Registers a query proposition once per exploration, returning its
+    /// slot index. The per-boundary translations of registered props are
+    /// cached across schemas, so re-asserting the query at every lattice
+    /// node only encodes the boundaries that are new since the last
+    /// assert (the per-schema delta).
+    pub fn register_query_prop(&mut self, prop: &Prop) -> usize {
+        self.query_props.push(prop.clone());
+        self.query_forms.push(Vec::new());
+        self.query_props.len() - 1
+    }
+
+    /// Number of registered query propositions.
+    pub fn num_query_props(&self) -> usize {
+        self.query_props.len()
+    }
+
+    /// The cached translation of query prop `slot` at boundary `b`,
+    /// encoding any missing boundaries first.
+    fn query_form(&mut self, slot: usize, b: usize) -> Formula {
+        if self.query_forms[slot].len() <= b {
+            // Detach the prop so `prop_at(&self)` can run while we push
+            // into the cache.
+            let prop = std::mem::replace(&mut self.query_props[slot], Prop::True);
+            while self.query_forms[slot].len() <= b {
+                let nb = self.query_forms[slot].len();
+                let f = self.prop_at(&prop, nb);
+                self.query_forms[slot].push(f);
+            }
+            self.query_props[slot] = prop;
+        }
+        self.query_forms[slot][b].clone()
+    }
+
+    /// [`assert_prop_somewhere`](Encoding::assert_prop_somewhere) for a
+    /// registered query prop, reusing the cached per-boundary encodings.
+    pub fn assert_query_prop_somewhere(&mut self, slot: usize) {
+        let n = self.num_boundaries();
+        let f = Formula::or((0..n).map(|b| self.query_form(slot, b)));
         self.solver.assert(f);
     }
 

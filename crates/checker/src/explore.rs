@@ -212,11 +212,53 @@ impl Recorder {
     }
 }
 
+/// Every recorded exploration whose infeasible verdicts soundly
+/// transfer to one query: the skeleton plus any property recording
+/// whose banned-location set is contained in (overlaps from below) the
+/// query's. Sources complement each other — each prunes the part of the
+/// lattice *it* proved infeasible — so consulting all of them prunes
+/// strictly more than the best single recording.
+#[derive(Debug, Default)]
+pub struct Pruner {
+    sources: Vec<Arc<Exploration>>,
+}
+
+impl Pruner {
+    /// Whether any source recorded `chain` as infeasible. Feasible
+    /// verdicts do **not** transfer (a weaker base can only over-, not
+    /// under-approximate feasibility), so this is the only question a
+    /// pruner answers; the answer is independent of source order.
+    pub fn prunes_chain(&self, chain: &[u64]) -> bool {
+        self.sources.iter().any(|e| e.verdict(chain) == Some(false))
+    }
+
+    /// Number of contributing recordings.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+/// Number of lock stripes. Matrix-scheduled properties of different
+/// automata hash to different stripes, so concurrent whole-property
+/// jobs don't serialize on one cache lock.
+const SHARDS: usize = 8;
+
 /// The process-wide store, shared by all clones of a
 /// [`Checker`](crate::Checker) (clones share the same `Arc`).
-#[derive(Debug, Default)]
+/// Lock-striped: keys are distributed over [`SHARDS`] independent
+/// mutexes by hash, so the matrix scheduler's concurrent property jobs
+/// contend only when they touch the same stripe.
+#[derive(Debug)]
 pub struct ExplorationCache {
-    inner: Mutex<HashMap<ExplorationKey, Arc<Exploration>>>,
+    shards: Vec<Mutex<HashMap<ExplorationKey, Arc<Exploration>>>>,
+}
+
+impl Default for ExplorationCache {
+    fn default() -> ExplorationCache {
+        ExplorationCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
 }
 
 impl ExplorationCache {
@@ -225,9 +267,15 @@ impl ExplorationCache {
         ExplorationCache::default()
     }
 
+    fn shard(&self, key: &ExplorationKey) -> &Mutex<HashMap<ExplorationKey, Arc<Exploration>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
     /// A complete exploration recorded under exactly `key`, if any.
     pub fn replayable(&self, key: &ExplorationKey) -> Option<Arc<Exploration>> {
-        self.inner
+        self.shard(key)
             .lock()
             .unwrap()
             .get(key)
@@ -235,22 +283,32 @@ impl ExplorationCache {
             .cloned()
     }
 
-    /// The best recorded exploration whose infeasible verdicts soundly
-    /// prune a query keyed `key` (the one with the most verdicts wins).
-    pub fn pruner_for(&self, key: &ExplorationKey) -> Option<Arc<Exploration>> {
-        self.inner
-            .lock()
-            .unwrap()
-            .values()
-            .filter(|e| e.key().prunes(key))
-            .max_by_key(|e| e.verdicts.len())
-            .cloned()
+    /// All recorded explorations whose infeasible verdicts soundly
+    /// prune a query keyed `key`, aggregated (see [`Pruner`]). `None`
+    /// if nothing recorded applies.
+    pub fn pruner_for(&self, key: &ExplorationKey) -> Option<Pruner> {
+        let mut sources: Vec<Arc<Exploration>> = Vec::new();
+        for shard in &self.shards {
+            sources.extend(
+                shard
+                    .lock()
+                    .unwrap()
+                    .values()
+                    .filter(|e| e.key().prunes(key))
+                    .cloned(),
+            );
+        }
+        if sources.is_empty() {
+            None
+        } else {
+            Some(Pruner { sources })
+        }
     }
 
     /// Stores an exploration. A complete recording is never replaced by
     /// an incomplete one.
     pub fn insert(&self, e: Exploration) {
-        let mut map = self.inner.lock().unwrap();
+        let mut map = self.shard(&e.key).lock().unwrap();
         match map.get(&e.key) {
             Some(old) if old.is_complete() && !e.is_complete() => {}
             _ => {
@@ -261,12 +319,12 @@ impl ExplorationCache {
 
     /// Number of recorded explorations.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
     }
 
     /// Whether nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().unwrap().is_empty()
+        self.len() == 0
     }
 }
 

@@ -45,6 +45,7 @@ mod encode;
 mod enumeration;
 mod explore;
 mod guards;
+mod matrix;
 
 pub use checker::{
     CheckError, CheckReport, Checker, CheckerConfig, QueryReport, QueryStats, Strategy, Verdict,
@@ -52,5 +53,6 @@ pub use checker::{
 pub use counterexample::{CeStep, Counterexample, ReplayError};
 pub use encode::{Encoding, SegmentKind, SymbolicRun};
 pub use enumeration::{count_schedules, enumerate_schedules, ContextSchedule, ScheduleEnumeration};
-pub use explore::{Exploration, ExplorationCache, ExplorationKey};
+pub use explore::{Exploration, ExplorationCache, ExplorationKey, Pruner};
 pub use guards::{GuardError, GuardInfo};
+pub use matrix::MatrixJob;

@@ -51,6 +51,6 @@ pub use formula::Formula;
 pub use intern::{InternStats, Interner};
 pub use linexpr::{LinExpr, Var};
 pub use model::{Model, SatResult, UnknownReason};
-pub use rat::Rat;
+pub use rat::{Rat, RatOverflow};
 pub use simplex::{LpResult, Simplex};
 pub use solver::{Solver, SolverConfig, SolverStats};

@@ -119,6 +119,10 @@ pub enum UnknownReason {
     BranchBudget,
     /// The case-split budget was exhausted.
     SplitBudget,
+    /// Rational arithmetic saturated on `i128` overflow during the
+    /// check, so any computed verdict would be untrustworthy (see
+    /// [`Rat::take_overflow_flag`](crate::Rat::take_overflow_flag)).
+    RatOverflow,
 }
 
 impl fmt::Display for UnknownReason {
@@ -126,6 +130,7 @@ impl fmt::Display for UnknownReason {
         match self {
             UnknownReason::BranchBudget => write!(f, "branch-and-bound node budget exhausted"),
             UnknownReason::SplitBudget => write!(f, "case-split budget exhausted"),
+            UnknownReason::RatOverflow => write!(f, "rational arithmetic overflowed i128"),
         }
     }
 }

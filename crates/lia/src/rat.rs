@@ -1,16 +1,57 @@
-//! Exact rational arithmetic on `i128`.
+//! Exact rational arithmetic with a machine-word fast path.
 //!
 //! The solver never touches floating point: simplex pivots, bounds and
-//! models are all exact. Numerator/denominator are kept reduced with a
-//! positive denominator, so equality is structural. Arithmetic panics on
-//! `i128` overflow (checked operations), which for the constraint systems
-//! produced by the checker — small integer coefficients, short pivot
-//! chains — does not occur in practice; a panic is preferable to a wrong
-//! verdict.
+//! models are all exact. A rational is stored in one of two
+//! representations, both kept reduced with a positive denominator:
+//!
+//! * `Small(i64, i64)` — the machine-word fast path. The constraint
+//!   systems produced by the checker have small integer coefficients, so
+//!   in practice virtually every value the simplex touches lives here.
+//!   Addition and multiplication widen to `i128` intermediates, which
+//!   *cannot* overflow (|a·d| ≤ 2^126), reduce, and demote back.
+//! * `Big(i128, i128)` — the wide path, entered only when a value no
+//!   longer fits an `i64` pair. Arithmetic here is overflow-checked.
+//!
+//! The representation is canonical: a value whose reduced form fits the
+//! small representation is always stored small, so structural equality
+//! and hashing remain valid (`derive`d).
+//!
+//! # Overflow
+//!
+//! Wide-path arithmetic that would exceed `i128` does **not** panic.
+//! The operators saturate to a poison value ([`Rat::ZERO`]) and latch a
+//! thread-local overflow flag; the solver observes the flag via
+//! [`Rat::take_overflow_flag`] and turns the whole check into a sound
+//! `Unknown` verdict instead of aborting mid-verification. Callers that
+//! want an explicit error can use the fallible API ([`Rat::try_add`],
+//! [`Rat::try_sub`], [`Rat::try_mul`], [`Rat::try_div`]), which returns
+//! [`RatOverflow`] and leaves the flag untouched.
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Arithmetic on [`Rat`] exceeded the `i128` wide representation.
+///
+/// Returned by the `try_*` operations; the infix operators instead
+/// latch the thread-local flag read by [`Rat::take_overflow_flag`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RatOverflow;
+
+impl fmt::Display for RatOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rational arithmetic overflowed i128")
+    }
+}
+
+impl std::error::Error for RatOverflow {}
+
+thread_local! {
+    /// Latched by saturating operator overflow; drained by
+    /// [`Rat::take_overflow_flag`].
+    static OVERFLOWED: Cell<bool> = const { Cell::new(false) };
+}
 
 /// An exact rational number `num / den` with `den > 0` and
 /// `gcd(num, den) == 1`.
@@ -26,10 +67,17 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// assert!(Rat::from(2) > a);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Rat {
-    num: i128,
-    den: i128,
+pub struct Rat(Repr);
+
+/// Canonical two-tier representation: values that fit an `i64` pair are
+/// *always* stored `Small`, so derived equality/hashing are structural.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Repr {
+    Small(i64, i64),
+    Big(i128, i128),
 }
+
+use Repr::{Big, Small};
 
 const fn gcd(mut a: i128, mut b: i128) -> i128 {
     while b != 0 {
@@ -44,11 +92,25 @@ const fn gcd(mut a: i128, mut b: i128) -> i128 {
     }
 }
 
+/// Full 128×128 → 256-bit unsigned multiply: `(hi, lo)`.
+fn umul256(x: u128, y: u128) -> (u128, u128) {
+    const M: u128 = (1u128 << 64) - 1;
+    let (x0, x1) = (x & M, x >> 64);
+    let (y0, y1) = (y & M, y >> 64);
+    let p00 = x0 * y0;
+    let p01 = x0 * y1;
+    let p10 = x1 * y0;
+    let mid = (p00 >> 64) + (p01 & M) + (p10 & M);
+    let lo = (p00 & M) | (mid << 64);
+    let hi = x1 * y1 + (p01 >> 64) + (p10 >> 64) + (mid >> 64);
+    (hi, lo)
+}
+
 impl Rat {
     /// Zero.
-    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    pub const ZERO: Rat = Rat(Small(0, 1));
     /// One.
-    pub const ONE: Rat = Rat { num: 1, den: 1 };
+    pub const ONE: Rat = Rat(Small(1, 1));
 
     /// Creates a rational `num / den`, reduced to lowest terms.
     ///
@@ -58,52 +120,121 @@ impl Rat {
     pub fn new(num: i128, den: i128) -> Rat {
         assert!(den != 0, "rational with zero denominator");
         let g = gcd(num, den);
-        let (mut num, mut den) = (num / g, den / g);
-        if den < 0 {
-            num = -num;
-            den = -den;
+        let (n, d) = (num / g, den / g);
+        if d < 0 {
+            // `-n` overflows only for `i128::MIN`, which cannot be
+            // reduced away; saturate rather than wrap.
+            match (n.checked_neg(), d.checked_neg()) {
+                (Some(n), Some(d)) => Rat::make(n, d),
+                _ => Rat::saturate(),
+            }
+        } else {
+            Rat::make(n, d)
         }
-        Rat { num, den }
+    }
+
+    /// Wraps an already-reduced pair (`den > 0`, `gcd == 1`), demoting
+    /// to the small representation when it fits.
+    #[inline]
+    fn make(num: i128, den: i128) -> Rat {
+        if let (Ok(n), Ok(d)) = (i64::try_from(num), i64::try_from(den)) {
+            Rat(Small(n, d))
+        } else {
+            Rat(Big(num, den))
+        }
+    }
+
+    /// Latches the thread-local overflow flag and returns the poison
+    /// value the saturating operators produce.
+    #[cold]
+    fn saturate() -> Rat {
+        OVERFLOWED.with(|f| f.set(true));
+        Rat::ZERO
+    }
+
+    /// Reads **and clears** the thread-local overflow flag latched by
+    /// saturating operator overflow. The solver drains this around each
+    /// satisfiability check and demotes the verdict to `Unknown` if any
+    /// arithmetic saturated — a wrong *value* can only misdirect the
+    /// search, never produce a wrong verdict, as long as the flag is
+    /// honoured.
+    pub fn take_overflow_flag() -> bool {
+        OVERFLOWED.with(|f| f.replace(false))
     }
 
     /// The numerator (sign-carrying).
+    #[inline]
     pub fn numer(&self) -> i128 {
-        self.num
+        match self.0 {
+            Small(n, _) => n as i128,
+            Big(n, _) => n,
+        }
     }
 
     /// The denominator (always positive).
+    #[inline]
     pub fn denom(&self) -> i128 {
-        self.den
+        match self.0 {
+            Small(_, d) => d as i128,
+            Big(_, d) => d,
+        }
     }
 
     /// Whether this rational is zero.
+    #[inline]
     pub fn is_zero(&self) -> bool {
-        self.num == 0
+        matches!(self.0, Small(0, _))
     }
 
     /// Whether this rational is an integer.
+    #[inline]
     pub fn is_integer(&self) -> bool {
-        self.den == 1
+        match self.0 {
+            Small(_, d) => d == 1,
+            Big(_, d) => d == 1,
+        }
     }
 
     /// Whether this rational is strictly positive.
+    #[inline]
     pub fn is_positive(&self) -> bool {
-        self.num > 0
+        match self.0 {
+            Small(n, _) => n > 0,
+            Big(n, _) => n > 0,
+        }
     }
 
     /// Whether this rational is strictly negative.
+    #[inline]
     pub fn is_negative(&self) -> bool {
-        self.num < 0
+        match self.0 {
+            Small(n, _) => n < 0,
+            Big(n, _) => n < 0,
+        }
     }
 
     /// The largest integer `k` with `k <= self`.
+    #[inline]
     pub fn floor(&self) -> i128 {
-        self.num.div_euclid(self.den)
+        match self.0 {
+            Small(n, d) => n.div_euclid(d) as i128,
+            Big(n, d) => n.div_euclid(d),
+        }
     }
 
     /// The smallest integer `k` with `k >= self`.
+    #[inline]
     pub fn ceil(&self) -> i128 {
-        -(-self.num).div_euclid(self.den)
+        match self.0 {
+            Small(n, d) => -(-(n as i128)).div_euclid(d as i128),
+            Big(n, d) => match n.checked_neg() {
+                Some(m) => -m.div_euclid(d),
+                // n == i128::MIN: the value is a huge negative non-integer
+                // (d > 1, since MIN/1 reduced stays integral and integral
+                // ceil never negates); ceil = floor + 1.
+                None => n.div_euclid(d) + 1,
+            },
+        }
     }
 
     /// The multiplicative inverse.
@@ -112,66 +243,153 @@ impl Rat {
     ///
     /// Panics if `self` is zero.
     pub fn recip(&self) -> Rat {
-        assert!(self.num != 0, "reciprocal of zero");
-        Rat::new(self.den, self.num)
-    }
-
-    /// Converts to `i128` if the value is an integer.
-    pub fn to_integer(&self) -> Option<i128> {
-        if self.den == 1 {
-            Some(self.num)
-        } else {
-            None
+        assert!(!self.is_zero(), "reciprocal of zero");
+        match self.0 {
+            Small(n, d) => {
+                if n > 0 {
+                    Rat(Small(d, n))
+                } else if n == i64::MIN {
+                    Rat::make(-(d as i128), -(n as i128))
+                } else {
+                    Rat(Small(-d, -n))
+                }
+            }
+            Big(n, d) => {
+                if n > 0 {
+                    Rat::make(d, n)
+                } else {
+                    match (d.checked_neg(), n.checked_neg()) {
+                        (Some(d), Some(n)) => Rat::make(d, n),
+                        _ => Rat::saturate(), // n == i128::MIN
+                    }
+                }
+            }
         }
     }
 
-    fn checked_add(self, rhs: Rat) -> Rat {
-        // a/b + c/d = (a*(l/b) + c*(l/d)) / l  with l = lcm(b, d).
-        let g = gcd(self.den, rhs.den);
-        let l = self
-            .den
-            .checked_mul(rhs.den / g)
-            .expect("rational overflow in add (lcm)");
-        let a = self
-            .num
-            .checked_mul(l / self.den)
-            .expect("rational overflow in add (lhs)");
-        let b = rhs
-            .num
-            .checked_mul(l / rhs.den)
-            .expect("rational overflow in add (rhs)");
-        Rat::new(a.checked_add(b).expect("rational overflow in add"), l)
+    /// Converts to `i128` if the value is an integer.
+    #[inline]
+    pub fn to_integer(&self) -> Option<i128> {
+        match self.0 {
+            Small(n, 1) => Some(n as i128),
+            Big(n, 1) => Some(n),
+            _ => None,
+        }
     }
 
-    fn checked_mul(self, rhs: Rat) -> Rat {
+    /// The reduced `(numerator, denominator)` pair, widened.
+    #[inline]
+    fn parts(self) -> (i128, i128) {
+        match self.0 {
+            Small(n, d) => (n as i128, d as i128),
+            Big(n, d) => (n, d),
+        }
+    }
+
+    /// Fallible addition; `Err` on `i128` overflow (flag untouched).
+    pub fn try_add(self, rhs: Rat) -> Result<Rat, RatOverflow> {
+        if let (Small(a, b), Small(c, d)) = (self.0, rhs.0) {
+            // Integer fast path: the overwhelmingly common case in the
+            // simplex (bounds and pivot targets are mostly integers).
+            if b == 1 && d == 1 {
+                return Ok(match a.checked_add(c) {
+                    Some(s) => Rat(Small(s, 1)),
+                    None => Rat::make(a as i128 + c as i128, 1),
+                });
+            }
+            // Widened intermediates cannot overflow:
+            // |a·d + c·b| ≤ 2^127 − 2^64 and b·d < 2^126.
+            let (a, b, c, d) = (a as i128, b as i128, c as i128, d as i128);
+            return Ok(Rat::new(a * d + c * b, b * d));
+        }
+        let (a, b) = self.parts();
+        let (c, d) = rhs.parts();
+        // a/b + c/d = (a·(l/b) + c·(l/d)) / l  with l = lcm(b, d).
+        let g = gcd(b, d);
+        let l = b.checked_mul(d / g).ok_or(RatOverflow)?;
+        let x = a.checked_mul(l / b).ok_or(RatOverflow)?;
+        let y = c.checked_mul(l / d).ok_or(RatOverflow)?;
+        Ok(Rat::new(x.checked_add(y).ok_or(RatOverflow)?, l))
+    }
+
+    /// Fallible subtraction; `Err` on `i128` overflow (flag untouched).
+    pub fn try_sub(self, rhs: Rat) -> Result<Rat, RatOverflow> {
+        match rhs.checked_neg() {
+            Some(m) => self.try_add(m),
+            None => Err(RatOverflow),
+        }
+    }
+
+    /// Fallible multiplication; `Err` on `i128` overflow (flag untouched).
+    pub fn try_mul(self, rhs: Rat) -> Result<Rat, RatOverflow> {
+        if let (Small(a, b), Small(c, d)) = (self.0, rhs.0) {
+            if b == 1 && d == 1 {
+                return Ok(match a.checked_mul(c) {
+                    Some(p) => Rat(Small(p, 1)),
+                    None => Rat::make(a as i128 * c as i128, 1),
+                });
+            }
+            // |a·c| < 2^126 and 0 < b·d < 2^126: no overflow possible.
+            return Ok(Rat::new(a as i128 * c as i128, b as i128 * d as i128));
+        }
+        let (a, b) = self.parts();
+        let (c, d) = rhs.parts();
         // Cross-reduce before multiplying to keep magnitudes small.
-        let g1 = gcd(self.num, rhs.den);
-        let g2 = gcd(rhs.num, self.den);
-        let num = (self.num / g1)
-            .checked_mul(rhs.num / g2)
-            .expect("rational overflow in mul (num)");
-        let den = (self.den / g2)
-            .checked_mul(rhs.den / g1)
-            .expect("rational overflow in mul (den)");
-        Rat::new(num, den)
+        let g1 = gcd(a, d);
+        let g2 = gcd(c, b);
+        let num = (a / g1).checked_mul(c / g2).ok_or(RatOverflow)?;
+        let den = (b / g2).checked_mul(d / g1).ok_or(RatOverflow)?;
+        Ok(Rat::new(num, den))
+    }
+
+    /// Fallible division; `Err` on `i128` overflow (flag untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn try_div(self, rhs: Rat) -> Result<Rat, RatOverflow> {
+        assert!(!rhs.is_zero(), "reciprocal of zero");
+        let (c, d) = rhs.parts();
+        // Invert without going through `recip` so that `i128::MIN`
+        // numerators surface as `Err` instead of latching the flag.
+        let inv = if c > 0 {
+            Rat::make(d, c)
+        } else {
+            match (d.checked_neg(), c.checked_neg()) {
+                (Some(d), Some(c)) => Rat::make(d, c),
+                _ => return Err(RatOverflow),
+            }
+        };
+        self.try_mul(inv)
+    }
+
+    /// `-self`, or `None` if the numerator is `i128::MIN`.
+    fn checked_neg(self) -> Option<Rat> {
+        match self.0 {
+            Small(n, d) => Some(match n.checked_neg() {
+                Some(m) => Rat(Small(m, d)),
+                None => Rat::make(-(n as i128), d as i128),
+            }),
+            Big(n, d) => n.checked_neg().map(|m| Rat::make(m, d)),
+        }
     }
 }
 
 impl From<i128> for Rat {
     fn from(v: i128) -> Rat {
-        Rat { num: v, den: 1 }
+        Rat::make(v, 1)
     }
 }
 
 impl From<i64> for Rat {
     fn from(v: i64) -> Rat {
-        Rat::from(v as i128)
+        Rat(Small(v, 1))
     }
 }
 
 impl From<i32> for Rat {
     fn from(v: i32) -> Rat {
-        Rat::from(v as i128)
+        Rat(Small(v as i64, 1))
     }
 }
 
@@ -184,7 +402,7 @@ impl Default for Rat {
 impl Add for Rat {
     type Output = Rat;
     fn add(self, rhs: Rat) -> Rat {
-        self.checked_add(rhs)
+        self.try_add(rhs).unwrap_or_else(|_| Rat::saturate())
     }
 }
 
@@ -197,7 +415,7 @@ impl AddAssign for Rat {
 impl Sub for Rat {
     type Output = Rat;
     fn sub(self, rhs: Rat) -> Rat {
-        self.checked_add(-rhs)
+        self.try_sub(rhs).unwrap_or_else(|_| Rat::saturate())
     }
 }
 
@@ -210,7 +428,7 @@ impl SubAssign for Rat {
 impl Mul for Rat {
     type Output = Rat;
     fn mul(self, rhs: Rat) -> Rat {
-        self.checked_mul(rhs)
+        self.try_mul(rhs).unwrap_or_else(|_| Rat::saturate())
     }
 }
 
@@ -223,17 +441,14 @@ impl MulAssign for Rat {
 impl Div for Rat {
     type Output = Rat;
     fn div(self, rhs: Rat) -> Rat {
-        self.checked_mul(rhs.recip())
+        self.try_div(rhs).unwrap_or_else(|_| Rat::saturate())
     }
 }
 
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat {
-            num: -self.num,
-            den: self.den,
-        }
+        self.checked_neg().unwrap_or_else(Rat::saturate)
     }
 }
 
@@ -245,16 +460,31 @@ impl PartialOrd for Rat {
 
 impl Ord for Rat {
     fn cmp(&self, other: &Rat) -> Ordering {
-        // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0).
-        let lhs = self
-            .num
-            .checked_mul(other.den)
-            .expect("rational overflow in cmp");
-        let rhs = other
-            .num
-            .checked_mul(self.den)
-            .expect("rational overflow in cmp");
-        lhs.cmp(&rhs)
+        // a/b ? c/d  ⇔  a·d ? c·b  (b, d > 0).
+        if let (Small(a, b), Small(c, d)) = (self.0, other.0) {
+            if b == d {
+                return a.cmp(&c);
+            }
+            return (a as i128 * d as i128).cmp(&(c as i128 * b as i128));
+        }
+        let (a, b) = self.parts();
+        let (c, d) = other.parts();
+        match (a.checked_mul(d), c.checked_mul(b)) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            // 256-bit exact comparison; signs decide first (b, d > 0).
+            _ => match (a.signum()).cmp(&c.signum()) {
+                Ordering::Equal => {
+                    let l = umul256(a.unsigned_abs(), d.unsigned_abs());
+                    let r = umul256(c.unsigned_abs(), b.unsigned_abs());
+                    if a >= 0 {
+                        l.cmp(&r)
+                    } else {
+                        r.cmp(&l)
+                    }
+                }
+                sign => sign,
+            },
+        }
     }
 }
 
@@ -266,10 +496,11 @@ impl fmt::Debug for Rat {
 
 impl fmt::Display for Rat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.den == 1 {
-            write!(f, "{}", self.num)
+        let (n, d) = self.parts();
+        if d == 1 {
+            write!(f, "{n}")
         } else {
-            write!(f, "{}/{}", self.num, self.den)
+            write!(f, "{n}/{d}")
         }
     }
 }
@@ -277,6 +508,11 @@ impl fmt::Display for Rat {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The reduced parts, plus whether the small representation is used.
+    fn is_small(r: Rat) -> bool {
+        matches!(r.0, Small(..))
+    }
 
     #[test]
     fn reduces_to_lowest_terms() {
@@ -344,5 +580,123 @@ mod tests {
     #[should_panic(expected = "reciprocal of zero")]
     fn recip_of_zero_panics() {
         let _ = Rat::ZERO.recip();
+    }
+
+    #[test]
+    fn representation_is_canonical() {
+        // Values that fit i64 pairs are always Small, however produced.
+        assert!(is_small(Rat::new(i64::MAX as i128, 1)));
+        assert!(is_small(Rat::new(i64::MIN as i128, 1)));
+        let big = Rat::new(i64::MAX as i128 + 1, 1);
+        assert!(!is_small(big));
+        // Arithmetic that shrinks a Big back into range demotes it.
+        let back = big - Rat::from(1i64);
+        assert!(is_small(back));
+        assert_eq!(back, Rat::new(i64::MAX as i128, 1));
+    }
+
+    #[test]
+    fn promotion_roundtrip_preserves_value() {
+        let a = Rat::from(i64::MAX);
+        let b = a + Rat::ONE; // promotes
+        assert_eq!(b.numer(), i64::MAX as i128 + 1);
+        let c = b - Rat::ONE; // demotes
+        assert_eq!(c, a);
+        assert!(is_small(c));
+    }
+
+    #[test]
+    fn cross_representation_equality_and_order() {
+        let small = Rat::new(7, 3);
+        let via_big = (Rat::new(7, 3) + Rat::from(i64::MAX)) - Rat::from(i64::MAX);
+        assert_eq!(small, via_big);
+        assert!(Rat::from(i64::MAX) < Rat::from(i64::MAX as i128 + 1));
+        assert!(Rat::from(i64::MIN as i128 - 1) < Rat::from(i64::MIN));
+    }
+
+    #[test]
+    fn wide_ordering_is_exact() {
+        // Products overflow i128, forcing the 256-bit comparison.
+        let a = Rat::new(i128::MAX / 2, i128::MAX / 4);
+        let b = Rat::new(i128::MAX / 2 + 1, i128::MAX / 4);
+        assert!(a < b);
+        let na = Rat::new(-(i128::MAX / 2), i128::MAX / 4);
+        let nb = Rat::new(-(i128::MAX / 2) - 1, i128::MAX / 4);
+        assert!(nb < na);
+        assert!(na < b);
+    }
+
+    #[test]
+    fn operator_overflow_saturates_and_latches_flag() {
+        let _ = Rat::take_overflow_flag(); // clear
+        let huge = Rat::new(i128::MAX, 1);
+        let r = huge + huge;
+        assert_eq!(r, Rat::ZERO, "saturates to the poison value");
+        assert!(Rat::take_overflow_flag(), "flag latched");
+        assert!(!Rat::take_overflow_flag(), "flag cleared by take");
+    }
+
+    #[test]
+    fn try_api_reports_overflow_without_latching() {
+        let _ = Rat::take_overflow_flag();
+        let huge = Rat::new(i128::MAX, 1);
+        assert_eq!(huge.try_add(huge), Err(RatOverflow));
+        assert_eq!(huge.try_mul(huge), Err(RatOverflow));
+        assert!(!Rat::take_overflow_flag(), "try_* must not latch");
+        assert_eq!(Rat::ONE.try_add(Rat::ONE), Ok(Rat::from(2)));
+    }
+
+    #[test]
+    fn small_path_never_overflows_at_i64_extremes() {
+        let _ = Rat::take_overflow_flag();
+        let cases = [
+            (i64::MAX, 1),
+            (i64::MIN, 1),
+            (i64::MAX, i64::MAX - 1),
+            (i64::MIN, i64::MAX),
+            (1, i64::MAX),
+            (-1, i64::MAX),
+        ];
+        for &(an, ad) in &cases {
+            for &(bn, bd) in &cases {
+                let a = Rat::new(an as i128, ad as i128);
+                let b = Rat::new(bn as i128, bd as i128);
+                let _ = a + b;
+                let _ = a - b;
+                let _ = a * b;
+                if !b.is_zero() {
+                    let _ = a / b;
+                }
+                let _ = a.cmp(&b);
+            }
+        }
+        assert!(
+            !Rat::take_overflow_flag(),
+            "i64-extreme small-path arithmetic must stay exact"
+        );
+    }
+
+    #[test]
+    fn negation_of_i64_min_promotes() {
+        let a = Rat::from(i64::MIN);
+        let b = -a;
+        assert_eq!(b.numer(), -(i64::MIN as i128));
+        assert_eq!(-b, a);
+    }
+
+    #[test]
+    fn recip_at_extremes() {
+        let a = Rat::from(i64::MIN);
+        let r = a.recip();
+        assert_eq!(r.numer(), -1);
+        assert_eq!(r.denom(), -(i64::MIN as i128));
+        assert_eq!(r.recip(), a);
+    }
+
+    #[test]
+    fn ceil_of_extreme_negative() {
+        let r = Rat::new(i128::MIN, 3);
+        assert_eq!(r.ceil(), r.floor() + 1);
+        assert!(Rat::from(r.ceil()) >= r);
     }
 }

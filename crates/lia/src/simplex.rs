@@ -63,8 +63,74 @@ impl VarState {
 #[derive(Clone, Debug)]
 struct Row {
     basic: Var,
-    /// `basic = Σ coeffs[v]·v` over non-basic variables.
-    coeffs: BTreeMap<Var, Rat>,
+    /// `basic = Σ k·v` over non-basic variables; sorted by `Var`, no
+    /// zero coefficients. A sorted vector beats a `BTreeMap` here
+    /// because the pivot substitution is a linear merge of two sorted
+    /// coefficient lists — the single hottest loop in the solver — and
+    /// iteration in ascending `Var` order (Bland's rule) is free.
+    coeffs: Vec<(Var, Rat)>,
+}
+
+impl Row {
+    /// The coefficient of `v`, if present (binary search).
+    fn coeff(&self, v: Var) -> Option<Rat> {
+        self.coeffs
+            .binary_search_by_key(&v, |&(w, _)| w)
+            .ok()
+            .map(|i| self.coeffs[i].1)
+    }
+}
+
+/// Merges `k·delta` into a sorted coefficient list: `acc += k·delta`,
+/// dropping entries that cancel to zero. Both inputs are sorted by
+/// `Var`; the result is too. Calls `on_change(v, true)` for vars that
+/// appear in `acc` and `on_change(v, false)` for vars that disappear,
+/// so the caller can maintain its column index incrementally.
+fn merge_scaled(
+    acc: &[(Var, Rat)],
+    delta: &[(Var, Rat)],
+    k: Rat,
+    mut on_change: impl FnMut(Var, bool),
+) -> Vec<(Var, Rat)> {
+    let mut out = Vec::with_capacity(acc.len() + delta.len());
+    let (mut i, mut j) = (0, 0);
+    while i < acc.len() && j < delta.len() {
+        let (va, ka) = acc[i];
+        let (vd, kd) = delta[j];
+        match va.cmp(&vd) {
+            std::cmp::Ordering::Less => {
+                out.push((va, ka));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                let c = k * kd;
+                if !c.is_zero() {
+                    on_change(vd, true);
+                    out.push((vd, c));
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let c = ka + k * kd;
+                if c.is_zero() {
+                    on_change(va, false);
+                } else {
+                    out.push((va, c));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&acc[i..]);
+    for &(vd, kd) in &delta[j..] {
+        let c = k * kd;
+        if !c.is_zero() {
+            on_change(vd, true);
+            out.push((vd, c));
+        }
+    }
+    out
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -325,28 +391,30 @@ impl Simplex {
         }
         let s = self.new_var(format!("s{}", self.rows.len()));
         // Rewrite the defining equation over the current non-basic vars.
-        let mut coeffs: BTreeMap<Var, Rat> = BTreeMap::new();
-        let mut value = Rat::ZERO;
+        // (Cold path: rows are built once and pivoted many times, so a
+        // BTreeMap accumulator is fine here.)
+        let mut acc: BTreeMap<Var, Rat> = BTreeMap::new();
         for (v, k) in expr.iter() {
             if let Some(&r) = self.row_of.get(&v) {
-                let row_coeffs = self.rows[r].coeffs.clone();
-                for (w, kw) in row_coeffs {
-                    let e = coeffs.entry(w).or_default();
+                for &(w, kw) in &self.rows[r].coeffs {
+                    let e = acc.entry(w).or_default();
                     *e += k * kw;
                     if e.is_zero() {
-                        coeffs.remove(&w);
+                        acc.remove(&w);
                     }
                 }
             } else {
-                let e = coeffs.entry(v).or_default();
+                let e = acc.entry(v).or_default();
                 *e += k;
                 if e.is_zero() {
-                    coeffs.remove(&v);
+                    acc.remove(&v);
                 }
             }
         }
+        let coeffs: Vec<(Var, Rat)> = acc.into_iter().collect();
         let idx = self.rows.len();
-        for (&w, &kw) in &coeffs {
+        let mut value = Rat::ZERO;
+        for &(w, kw) in &coeffs {
             value += kw * self.vars[w.index()].value;
             self.cols.entry(w).or_default().insert(idx);
         }
@@ -366,7 +434,9 @@ impl Simplex {
         }
         if let Some(rows) = self.cols.get(&v) {
             for &idx in rows.iter() {
-                let k = self.rows[idx].coeffs[&v];
+                let k = self.rows[idx]
+                    .coeff(v)
+                    .expect("column index row mentions v");
                 let basic = self.rows[idx].basic;
                 self.vars[basic.index()].value += k * delta;
                 self.suspect.insert(basic);
@@ -380,7 +450,7 @@ impl Simplex {
     fn pivot_and_update(&mut self, r: usize, xj: Var, target: Rat) {
         self.pivots += 1;
         let xi = self.rows[r].basic;
-        let a_ij = self.rows[r].coeffs[&xj];
+        let a_ij = self.rows[r].coeff(xj).expect("pivot column in row");
         let theta = (target - self.vars[xi.index()].value) / a_ij;
 
         // Value updates: only rows that mention xj change.
@@ -391,7 +461,9 @@ impl Simplex {
             if idx == r {
                 continue;
             }
-            let k = self.rows[idx].coeffs[&xj];
+            let k = self.rows[idx]
+                .coeff(xj)
+                .expect("column index row mentions xj");
             let basic = self.rows[idx].basic;
             self.vars[basic.index()].value += k * theta;
             self.suspect.insert(basic);
@@ -403,47 +475,57 @@ impl Simplex {
         //   xi = a_ij·xj + Σ_k a_ik·xk
         //   xj = (1/a_ij)·xi − Σ_k (a_ik/a_ij)·xk
         let old_coeffs = std::mem::take(&mut self.rows[r].coeffs);
-        for v in old_coeffs.keys() {
-            if let Some(set) = self.cols.get_mut(v) {
+        for &(v, _) in &old_coeffs {
+            if let Some(set) = self.cols.get_mut(&v) {
                 set.remove(&r);
             }
         }
         let inv = a_ij.recip();
-        let mut new_coeffs: BTreeMap<Var, Rat> = BTreeMap::new();
-        new_coeffs.insert(xi, inv);
-        for (v, k) in old_coeffs {
+        let mut new_coeffs: Vec<(Var, Rat)> = Vec::with_capacity(old_coeffs.len());
+        let mut xi_inserted = false;
+        for &(v, k) in &old_coeffs {
+            if !xi_inserted && xi < v {
+                new_coeffs.push((xi, inv));
+                xi_inserted = true;
+            }
             if v != xj {
                 let c = -(k * inv);
                 if !c.is_zero() {
-                    new_coeffs.insert(v, c);
+                    new_coeffs.push((v, c));
                 }
             }
         }
-        // Substitute xj's new definition into every row that mentions it.
+        if !xi_inserted {
+            new_coeffs.push((xi, inv));
+        }
+        // Substitute xj's new definition into every row that mentions it:
+        // row := row_without_xj + k · new_coeffs, a linear merge of two
+        // sorted coefficient lists.
         for &idx in &xj_rows {
             if idx == r {
                 continue;
             }
-            let k = self.rows[idx]
-                .coeffs
-                .remove(&xj)
+            let row = std::mem::take(&mut self.rows[idx].coeffs);
+            let pos = row
+                .binary_search_by_key(&xj, |&(w, _)| w)
                 .expect("column index row mentions xj");
-            for (&w, &kw) in &new_coeffs {
-                let e = self.rows[idx].coeffs.entry(w).or_default();
-                let was_present = !e.is_zero();
-                *e += k * kw;
-                if e.is_zero() {
-                    self.rows[idx].coeffs.remove(&w);
-                    self.cols.entry(w).or_default().remove(&idx);
-                } else if !was_present {
-                    self.cols.entry(w).or_default().insert(idx);
+            let k = row[pos].1;
+            let mut without_xj = row;
+            without_xj.remove(pos);
+            let cols = &mut self.cols;
+            self.rows[idx].coeffs = merge_scaled(&without_xj, &new_coeffs, k, |w, appeared| {
+                let set = cols.entry(w).or_default();
+                if appeared {
+                    set.insert(idx);
+                } else {
+                    set.remove(&idx);
                 }
-            }
+            });
         }
         if let Some(set) = self.cols.get_mut(&xj) {
             set.clear();
         }
-        for &w in new_coeffs.keys() {
+        for &(w, _) in &new_coeffs {
             self.cols.entry(w).or_default().insert(r);
         }
         self.rows[r].basic = xj;
@@ -507,7 +589,7 @@ impl Simplex {
             };
             // Smallest eligible non-basic variable in row r.
             let mut entering: Option<Var> = None;
-            for (&xj, &a) in &self.rows[r].coeffs {
+            for &(xj, a) in &self.rows[r].coeffs {
                 let st = &self.vars[xj.index()];
                 let eligible = if need_increase {
                     // xi must increase: xj can move in the direction that
@@ -520,7 +602,7 @@ impl Simplex {
                 };
                 if eligible {
                     entering = Some(xj);
-                    break; // BTreeMap iterates in ascending Var order.
+                    break; // coeffs are sorted in ascending Var order.
                 }
             }
             match entering {
@@ -542,7 +624,13 @@ impl Simplex {
     pub fn debug_check_invariants(&self) -> bool {
         for (idx, row) in self.rows.iter().enumerate() {
             let mut acc = Rat::ZERO;
-            for (&v, &k) in &row.coeffs {
+            if !row.coeffs.is_sorted_by_key(|&(v, _)| v) {
+                return false; // rows must stay sorted for the merges
+            }
+            for &(v, k) in &row.coeffs {
+                if k.is_zero() {
+                    return false; // no explicit zero coefficients
+                }
                 if self.is_basic(v) {
                     return false; // rows must mention only non-basic vars
                 }
@@ -557,7 +645,7 @@ impl Simplex {
         }
         for (v, set) in &self.cols {
             for &idx in set {
-                if !self.rows[idx].coeffs.contains_key(v) {
+                if self.rows[idx].coeff(*v).is_none() {
                     return false; // no stale column entries
                 }
             }

@@ -109,6 +109,12 @@ pub struct Solver {
     interner: Interner,
     config: SolverConfig,
     stats: SolverStats,
+    /// Rational arithmetic saturated at some point in this solver's
+    /// lifetime. Bounds computed from poisoned values may linger in the
+    /// tableau across pops, so every subsequent check conservatively
+    /// reports `Unknown` — always sound, and in practice unreachable for
+    /// the small-coefficient systems the checker emits.
+    poisoned: bool,
 }
 
 impl Default for Solver {
@@ -132,6 +138,7 @@ impl Solver {
             interner: Interner::new(),
             config,
             stats: SolverStats::default(),
+            poisoned: false,
         }
     }
 
@@ -267,6 +274,15 @@ impl Solver {
         self.simplex.push();
         let result = self.search(goals, &mut budget);
         self.simplex.pop();
+        // Saturated rational arithmetic (anywhere since the last check:
+        // asserts included) poisons the verdict — sound `Unknown` beats
+        // a wrong answer computed from wrapped values.
+        if Rat::take_overflow_flag() {
+            self.poisoned = true;
+        }
+        if self.poisoned {
+            return SatResult::Unknown(UnknownReason::RatOverflow);
+        }
         result
     }
 

@@ -1,0 +1,211 @@
+//! Property-based validation of `Rat`'s machine-word fast path against
+//! a pure-`i128` reference implementation.
+//!
+//! `Rat` keeps an `i64`-pair small representation with overflow-checked
+//! promotion to `i128`; these tests pin the algebraic laws across the
+//! promotion boundary: results must be identical to naive reduced
+//! `i128` arithmetic whenever the latter doesn't overflow, ordering
+//! must match cross-multiplication, and every result must stay
+//! canonical (coprime, positive denominator) — the invariant the
+//! derived `Eq`/`Hash` rely on.
+
+use holistic_lia::Rat;
+use proptest::prelude::*;
+
+/// Euclidean gcd on magnitudes (inputs here never reach `i128::MIN`).
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// The reference: reduced `i128` rationals with checked arithmetic and
+/// no machine-word fast path. `None` = the naive computation overflows
+/// (the fast path may still succeed there, so such cases are skipped
+/// rather than asserted).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct RefRat {
+    n: i128,
+    d: i128,
+}
+
+impl RefRat {
+    fn new(n: i128, d: i128) -> Option<RefRat> {
+        if d == 0 {
+            return None;
+        }
+        let g = gcd(n, d);
+        let (mut n, mut d) = if g == 0 { (0, 1) } else { (n / g, d / g) };
+        if d < 0 {
+            n = n.checked_neg()?;
+            d = d.checked_neg()?;
+        }
+        Some(RefRat { n, d })
+    }
+
+    fn add(self, o: RefRat) -> Option<RefRat> {
+        let n = self
+            .n
+            .checked_mul(o.d)?
+            .checked_add(o.n.checked_mul(self.d)?)?;
+        RefRat::new(n, self.d.checked_mul(o.d)?)
+    }
+
+    fn mul(self, o: RefRat) -> Option<RefRat> {
+        RefRat::new(self.n.checked_mul(o.n)?, self.d.checked_mul(o.d)?)
+    }
+
+    fn cmp(self, o: RefRat) -> Option<std::cmp::Ordering> {
+        // Denominators are positive, so cross-multiplication preserves
+        // order.
+        Some(self.n.checked_mul(o.d)?.cmp(&o.n.checked_mul(self.d)?))
+    }
+}
+
+/// Integers that exercise every representation regime: tiny values that
+/// stay machine-word, values straddling the `i64::MAX` promotion
+/// boundary, and genuinely wide products of word-sized factors.
+fn interesting() -> impl Strategy<Value = i128> {
+    (0u8..=3, -6i64..=6, 1i64..=7).prop_map(|(kind, off, scale)| match kind {
+        0 => off as i128,
+        1 => i64::MAX as i128 + off as i128,
+        2 => (i64::MAX as i128 - off.unsigned_abs() as i128) * scale as i128,
+        _ => off as i128 * 1_000_003 * scale as i128,
+    })
+}
+
+/// A `(Rat, RefRat)` pair built from the same fraction; denominators
+/// are kept nonzero by construction.
+fn pair() -> impl Strategy<Value = (Rat, RefRat)> {
+    (interesting(), interesting()).prop_map(|(n, d)| {
+        let d = if d == 0 { 1 } else { d };
+        (Rat::new(n, d), RefRat::new(n, d).expect("nonzero den"))
+    })
+}
+
+/// `Rat` results must be canonical: coprime, positive denominator.
+fn assert_canonical(x: Rat) {
+    assert!(x.denom() > 0, "denominator not positive: {x:?}");
+    assert!(
+        gcd(x.numer(), x.denom()) == 1,
+        "not reduced: {}/{}",
+        x.numer(),
+        x.denom()
+    );
+}
+
+fn assert_agrees(x: Rat, r: RefRat) {
+    assert_eq!((x.numer(), x.denom()), (r.n, r.d), "fast path diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Construction reduces identically to the reference.
+    #[test]
+    fn construction_matches_reference(p in pair()) {
+        let (x, r) = p;
+        assert_canonical(x);
+        assert_agrees(x, r);
+    }
+
+    /// Addition agrees with the reference whenever the naive `i128`
+    /// computation doesn't overflow; the fast path must never be
+    /// *wrong*, only more capable.
+    #[test]
+    fn add_matches_reference(pa in pair(), pb in pair()) {
+        let ((a, ra), (b, rb)) = (pa, pb);
+        if let Some(rc) = ra.add(rb) {
+            let c = a.try_add(b).expect("reference succeeded");
+            assert_canonical(c);
+            assert_agrees(c, rc);
+        }
+    }
+
+    /// Multiplication agrees with the reference (same proviso).
+    #[test]
+    fn mul_matches_reference(pa in pair(), pb in pair()) {
+        let ((a, ra), (b, rb)) = (pa, pb);
+        if let Some(rc) = ra.mul(rb) {
+            let c = a.try_mul(b).expect("reference succeeded");
+            assert_canonical(c);
+            assert_agrees(c, rc);
+        }
+    }
+
+    /// Addition is commutative, and associative whenever every
+    /// intermediate succeeds.
+    #[test]
+    fn add_commutative_associative(pa in pair(), pb in pair(), pc in pair()) {
+        let ((a, _), (b, _), (c, _)) = (pa, pb, pc);
+        prop_assert_eq!(a.try_add(b).ok(), b.try_add(a).ok());
+        if let (Ok(ab), Ok(bc)) = (a.try_add(b), b.try_add(c)) {
+            if let (Ok(l), Ok(r)) = (ab.try_add(c), a.try_add(bc)) {
+                prop_assert_eq!(l, r);
+            }
+        }
+    }
+
+    /// Multiplication is commutative and associative (same proviso).
+    #[test]
+    fn mul_commutative_associative(pa in pair(), pb in pair(), pc in pair()) {
+        let ((a, _), (b, _), (c, _)) = (pa, pb, pc);
+        prop_assert_eq!(a.try_mul(b).ok(), b.try_mul(a).ok());
+        if let (Ok(ab), Ok(bc)) = (a.try_mul(b), b.try_mul(c)) {
+            if let (Ok(l), Ok(r)) = (ab.try_mul(c), a.try_mul(bc)) {
+                prop_assert_eq!(l, r);
+            }
+        }
+    }
+
+    /// Multiplication distributes over addition when everything fits.
+    #[test]
+    fn mul_distributes_over_add(pa in pair(), pb in pair(), pc in pair()) {
+        let ((a, _), (b, _), (c, _)) = (pa, pb, pc);
+        let lhs = b.try_add(c).and_then(|s| a.try_mul(s));
+        let rhs = a
+            .try_mul(b)
+            .and_then(|ab| a.try_mul(c).and_then(|ac| ab.try_add(ac)));
+        if let (Ok(l), Ok(r)) = (lhs, rhs) {
+            prop_assert_eq!(l, r);
+        }
+    }
+
+    /// Subtraction is addition of the negation.
+    #[test]
+    fn sub_is_add_neg(pa in pair(), pb in pair()) {
+        let ((a, _), (b, _)) = (pa, pb);
+        if let (Ok(neg_b), Ok(d)) = (Rat::ZERO.try_sub(b), a.try_sub(b)) {
+            if let Ok(s) = a.try_add(neg_b) {
+                prop_assert_eq!(d, s);
+            }
+        }
+    }
+
+    /// Ordering agrees with cross-multiplication and with equality.
+    #[test]
+    fn ordering_matches_reference(pa in pair(), pb in pair()) {
+        let ((a, ra), (b, rb)) = (pa, pb);
+        if let Some(ord) = ra.cmp(rb) {
+            prop_assert_eq!(a.cmp(&b), ord);
+            prop_assert_eq!(a == b, ord == std::cmp::Ordering::Equal);
+        }
+        // Total-order sanity regardless of reference overflow.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        prop_assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    /// Values near the promotion boundary roundtrip through arithmetic:
+    /// `(x + 1) - 1 == x` even at `i64::MAX`.
+    #[test]
+    fn promotion_boundary_roundtrip(off in -4i64..=4, d in 1i64..=9) {
+        let x = Rat::new(i64::MAX as i128 + off as i128, d as i128);
+        let one = Rat::ONE;
+        let y = x.try_add(one).and_then(|v| v.try_sub(one)).expect("within i128");
+        prop_assert_eq!(x, y);
+        assert_canonical(y);
+    }
+}

@@ -10,7 +10,7 @@
 //! paper's Table 2. Both sides run with `threads = Some(1)` so the
 //! exploration order is byte-deterministic.
 
-use holistic_checker::{CheckReport, Checker, CheckerConfig, Strategy};
+use holistic_checker::{CheckReport, Checker, CheckerConfig, MatrixJob, Strategy};
 use holistic_ltl::{Justice, Ltl};
 use holistic_models::{BvBroadcastModel, NaiveConsensusModel, SimplifiedConsensusModel};
 use holistic_ta::ThresholdAutomaton;
@@ -153,6 +153,105 @@ fn work_stealing_pool_matches_single_thread() {
             );
             assert!(par.queries.iter().all(|q| q.stats.threads == 4), "{name}");
         }
+    }
+}
+
+#[test]
+fn matrix_scheduler_matches_inline_walk() {
+    // The cross-property matrix scheduler (4 workers pulling whole
+    // properties off a shared queue, lock-striped exploration cache)
+    // must produce the same verdicts, schema counts, and average
+    // schema lengths as the inline deterministic walk, in the same
+    // order — results are cache-independent, so property-level
+    // scheduling can only change wall time and hit counters.
+    let bv = BvBroadcastModel::new();
+    let bv_justice = bv.justice();
+    let sc = SimplifiedConsensusModel::new();
+    let sc_justice = sc.justice();
+    let bv_specs = bv.table2_specs();
+    let sc_specs = sc.table2_specs();
+    let mut jobs: Vec<MatrixJob<'_>> = Vec::new();
+    let mut names: Vec<&'static str> = Vec::new();
+    for (name, spec) in &bv_specs {
+        names.push(name);
+        jobs.push(MatrixJob {
+            ta: &bv.ta,
+            spec,
+            justice: &bv_justice,
+        });
+    }
+    for (name, spec) in &sc_specs {
+        names.push(name);
+        jobs.push(MatrixJob {
+            ta: &sc.ta,
+            spec,
+            justice: &sc_justice,
+        });
+    }
+    let concurrent: Vec<CheckReport> = checker(true, 100_000)
+        .check_matrix(&jobs, 4)
+        .into_iter()
+        .map(|r| r.expect("in fragment"))
+        .collect();
+    let sequential: Vec<CheckReport> = checker(true, 100_000)
+        .check_matrix(&jobs, 1)
+        .into_iter()
+        .map(|r| r.expect("in fragment"))
+        .collect();
+    assert_eq!(concurrent.len(), jobs.len(), "one report per job, in order");
+    for ((name, par), seq) in names.iter().zip(&concurrent).zip(&sequential) {
+        assert_eq!(
+            format!("{:?}", par.verdict()),
+            format!("{:?}", seq.verdict()),
+            "{name}: matrix verdict (incl. counterexamples) must match inline"
+        );
+        assert_eq!(
+            par.total_schemas(),
+            seq.total_schemas(),
+            "{name}: matrix schema count must match inline"
+        );
+        assert_eq!(
+            par.avg_segments(),
+            seq.avg_segments(),
+            "{name}: matrix average schema length must match inline"
+        );
+    }
+}
+
+#[test]
+fn matrix_scheduler_finds_identical_counterexamples() {
+    // A violated property through the matrix scheduler must replay the
+    // exact counterexample the inline walk finds.
+    let model = SimplifiedConsensusModel::with_resilience(2);
+    let justice = model.justice();
+    let spec = model.inv1(0);
+    let jobs = [
+        MatrixJob {
+            ta: &model.ta,
+            spec: &spec,
+            justice: &justice,
+        },
+        MatrixJob {
+            ta: &model.ta,
+            spec: &spec,
+            justice: &justice,
+        },
+    ];
+    let reports: Vec<CheckReport> = checker(true, 100_000)
+        .check_matrix(&jobs, 2)
+        .into_iter()
+        .map(|r| r.expect("in fragment"))
+        .collect();
+    let inline = checker(true, 100_000)
+        .check_ltl(&model.ta, &spec, &justice)
+        .expect("in fragment");
+    assert!(inline.verdict().is_violated(), "Inv1_0 under n > 2t");
+    for par in &reports {
+        assert_eq!(
+            format!("{:?}", par.verdict()),
+            format!("{:?}", inline.verdict()),
+            "matrix counterexample must be byte-identical to inline"
+        );
     }
 }
 
