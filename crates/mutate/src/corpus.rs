@@ -1,0 +1,407 @@
+//! The seeded mutant corpora.
+//!
+//! Each corpus applies every operator family to one of the paper's
+//! verified automata. The composition is deliberate: most mutants are
+//! semantic breakages the checker must kill with a counterexample; two
+//! are *statically* ill-formed (fall guard, updating self-loop) and
+//! must be rejected before verification; and a couple are **designed
+//! survivors** — equivalent mutants carrying a triage note — so the
+//! survivor accounting in the kill matrix is exercised honestly rather
+//! than tuned to 100%.
+
+use holistic_ltl::Ltl;
+use holistic_models::{BvBroadcastModel, SimplifiedConsensusModel};
+use holistic_ta::{AtomicGuard, ParamCmp, ParamConstraint, ParamExpr, VarExpr};
+
+use crate::operators::{
+    drop_resilience, drop_rules, duplicate_rule, find_guard, flip_guard, inject_updating_self_loop,
+    retarget_rule, shift_threshold, tamper_update, weaken_resilience_gt_to_ge, Mutant,
+};
+
+/// The properties the bv-broadcast kill matrix runs: the Table-2 block
+/// (`v = 0` instances + termination) **plus** the symmetric `v = 1`
+/// instances. The extension matters: value-symmetric mutants (e.g.
+/// tampering rule `r1` to count a `0`-broadcast in `b1`) are invisible
+/// to a `v = 0`-only matrix.
+pub fn bv_kill_properties(model: &BvBroadcastModel) -> Vec<(String, Ltl)> {
+    vec![
+        ("BV-Just0".to_owned(), model.justification(0)),
+        ("BV-Just1".to_owned(), model.justification(1)),
+        ("BV-Obl0".to_owned(), model.obligation(0)),
+        ("BV-Obl1".to_owned(), model.obligation(1)),
+        ("BV-Unif0".to_owned(), model.uniformity(0)),
+        ("BV-Unif1".to_owned(), model.uniformity(1)),
+        ("BV-Term".to_owned(), model.termination()),
+    ]
+}
+
+/// The seeded bv-broadcast corpus: 33 mutants across all eight
+/// operator families.
+pub fn bv_broadcast_corpus() -> (BvBroadcastModel, Vec<Mutant>) {
+    let model = BvBroadcastModel::new();
+    let ta = &model.ta;
+    let b0 = ta.variable_by_name("b0").expect("b0");
+    let b1 = ta.variable_by_name("b1").expect("b1");
+
+    let mut corpus = Vec::new();
+
+    // Rule drops: every proper rule of Fig. 2.
+    corpus.extend(drop_rules(
+        ta,
+        &[
+            "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "r12",
+        ],
+    ));
+
+    // Threshold off-by-one, downward, on the echo thresholds
+    // (`t+1-f -> t-f`): at t = f the guard drops to zero and values
+    // echo out of nothing — justification breaks.
+    for (var, label) in [("b0", "b0_low"), ("b1", "b1_low")] {
+        let g = find_guard(ta, var, "t", 1).expect("unique bv guard");
+        corpus.push(shift_threshold(ta, &g, -1, format!("thr.down.{label}")));
+    }
+    // Downward on the delivery threshold (`2t+1-f -> 2t-f`) is a
+    // designed survivor — a genuine finding of this harness: the echo
+    // guard `t+1-f` gates every b0 increment reachable without a
+    // 0-broadcast (r5, r10), so a 0-delivery still implies a genuine
+    // 0-broadcast even with the delivery bar lowered, and lowering a
+    // rise guard only *enables* transitions, which preserves the
+    // (premise-guarded) liveness properties. The real-world off-by-one
+    // danger — f Byzantine echoes faking a `2t+1-f` quorum — lives in
+    // the refinement between protocol and abstraction, which already
+    // folded those echoes into the `-f` offsets. The `b1` mirror
+    // behaves identically and is omitted as redundant.
+    {
+        let g = find_guard(ta, "b0", "t", 2).expect("unique bv guard");
+        corpus.push(
+            shift_threshold(ta, &g, -1, "thr.down.b0_high".into()).expect_survivor(
+                "equivalent in the abstraction: the echo guard t+1-f gates every b0 \
+                 increment on the 1-side, so 0-delivery still implies a 0-broadcast; \
+                 Byzantine quorum-faking lives below the abstraction (folded into -f)",
+            ),
+        );
+    }
+    // Threshold off-by-one, upward, on all four guards: raising the
+    // delivery threshold (`2t+1-f -> 2t+2-f`) strands a lone correct
+    // process; raising the echo threshold (`t+1-f -> t+2-f`) breaks
+    // the obligation premise (t+1 broadcasts no longer suffice).
+    for (var, coeff, label) in [
+        ("b0", 1, "b0_low"),
+        ("b0", 2, "b0_high"),
+        ("b1", 1, "b1_low"),
+        ("b1", 2, "b1_high"),
+    ] {
+        let g = find_guard(ta, var, "t", coeff).expect("unique bv guard");
+        corpus.push(shift_threshold(ta, &g, 1, format!("thr.up.{label}")));
+    }
+
+    // Resilience weakening. `n > 3t -> n >= 3t` is a designed survivor:
+    // the Fig. 2 abstraction folds the up-to-`f` Byzantine echoes into
+    // the `-f` guard offsets, and its properties only need `n >= 2t+1`
+    // (obligation/termination) and `t >= f` (justification) — the
+    // strict `n > 3t` bound is consumed by the protocol-level
+    // refinement argument, not by the abstract counter system.
+    corpus.push(
+        weaken_resilience_gt_to_ge(ta, 0, "res.ge3t".into()).expect_survivor(
+            "equivalent in the abstraction: Fig. 2's guards only need n >= 2t+1 and t >= f; \
+             n > 3t is used by the protocol-level refinement, not the counter system",
+        ),
+    );
+    // Dropping `t >= f` is NOT equivalent: with f > t the echo
+    // threshold `t+1-f` drops to zero and values materialise from
+    // nothing (BV-Justification breaks).
+    corpus.push(drop_resilience(ta, 1, "res.drop_tf".into()));
+
+    // Update tampers: broadcasts counted on the wrong side, or not at
+    // all, on both broadcast rules and both first-echo rules.
+    corpus.push(tamper_update(
+        ta,
+        "r1",
+        vec![(b1, 1)],
+        "upd.redirect.r1".into(),
+        "counts the 0-broadcast in b1",
+    ));
+    corpus.push(tamper_update(
+        ta,
+        "r2",
+        vec![(b0, 1)],
+        "upd.redirect.r2".into(),
+        "counts the 1-broadcast in b0",
+    ));
+    corpus.push(tamper_update(
+        ta,
+        "r1",
+        vec![],
+        "upd.drop.r1".into(),
+        "dropped (the broadcast is not counted)",
+    ));
+    corpus.push(tamper_update(
+        ta,
+        "r2",
+        vec![],
+        "upd.drop.r2".into(),
+        "dropped (the broadcast is not counted)",
+    ));
+    corpus.push(tamper_update(
+        ta,
+        "r7",
+        vec![],
+        "upd.drop.r7".into(),
+        "dropped (the 1-echo is not counted)",
+    ));
+
+    // Rule retargets: deliver the *wrong* value under the right guard
+    // (r3 sends a 0-quorum holder to C1, r6 a 1-quorum holder to C0).
+    corpus.push(retarget_rule(
+        ta,
+        "r3",
+        ta.location_by_name("C1").expect("C1"),
+    ));
+    corpus.push(retarget_rule(
+        ta,
+        "r6",
+        ta.location_by_name("C0").expect("C0"),
+    ));
+
+    // Rule duplication: the canonical equivalent mutant.
+    corpus.push(duplicate_rule(ta, "r3").expect_survivor(
+        "equivalent mutant: a verbatim duplicate rule adds no behaviour in counter semantics",
+    ));
+
+    // Statically ill-formed mutants: caught before verification.
+    corpus.push(flip_guard(ta, "r3"));
+    corpus.push(flip_guard(ta, "r6"));
+    corpus.push(inject_updating_self_loop(
+        ta,
+        ta.location_by_name("B0").expect("B0"),
+        b0,
+    ));
+    corpus.push(inject_updating_self_loop(
+        ta,
+        ta.location_by_name("C1").expect("C1"),
+        b1,
+    ));
+
+    (model, corpus)
+}
+
+/// The fixed 10-mutant smoke subset the CI `mutation-smoke` job runs:
+/// one or two representatives per operator family, all expected to be
+/// caught (killed or statically rejected).
+pub fn smoke_ids() -> [&'static str; 10] {
+    [
+        "drop.r1",
+        "drop.r3",
+        "thr.down.b0_low",
+        "thr.down.b1_low",
+        "thr.up.b0_high",
+        "res.drop_tf",
+        "upd.redirect.r1",
+        "upd.drop.r1",
+        "flip.r3",
+        "loop.B0",
+    ]
+}
+
+/// Properties for the simplified-consensus kill matrix: both value
+/// instances of the four Appendix-F safety properties.
+///
+/// `SRoundTerm` is deliberately excluded, for a reason worth spelling
+/// out: the Appendix-F justice is *requirement-based* (it assumes the
+/// bv-broadcast gadget delivers), so a mutation that removes a drain
+/// falsifies the fairness assumption together with the behaviour — the
+/// stuck runs it creates are unfair, the liveness property holds
+/// vacuously, and the matrix would pay the full 169-schema lattice per
+/// verified mutant for zero kills. Rule drops are therefore represented
+/// by a designed survivor ([`simplified_corpus`]) documenting exactly
+/// this blind spot.
+pub fn simplified_kill_properties(model: &SimplifiedConsensusModel) -> Vec<(String, Ltl)> {
+    vec![
+        ("Inv1_0".to_owned(), model.inv1(0)),
+        ("Inv1_1".to_owned(), model.inv1(1)),
+        ("Inv2_0".to_owned(), model.inv2(0)),
+        ("Inv2_1".to_owned(), model.inv2(1)),
+        ("Good_0".to_owned(), model.good(0)),
+        ("Good_1".to_owned(), model.good(1)),
+        ("Dec_0".to_owned(), model.dec(0)),
+        ("Dec_1".to_owned(), model.dec(1)),
+    ]
+}
+
+/// The seeded simplified-consensus corpus: 22 mutants. Killable
+/// mutants here must break *safety* (see
+/// [`simplified_kill_properties`] for why liveness-only breakage is a
+/// designed blind spot); the corpus leans on retargets, redirected
+/// updates and guard off-by-ones that make a wrong decision reachable.
+pub fn simplified_corpus() -> (SimplifiedConsensusModel, Vec<Mutant>) {
+    let model = SimplifiedConsensusModel::new();
+    let ta = &model.ta;
+    let mut corpus = Vec::new();
+
+    // The paper's §6 experiment: weaken `n > 3t` to `n > 2t` and watch
+    // Inv1₀ (agreement) fall over.
+    let n = ta.param_by_name("n").expect("n");
+    let t = ta.param_by_name("t").expect("t");
+    let mut resilience = ta.resilience.clone();
+    resilience[0] = ParamConstraint::new(ParamExpr::param(n), ParamCmp::Gt, ParamExpr::term(t, 2));
+    let weakened = Mutant {
+        id: "res.gt2t".into(),
+        operator: "resilience-weakening",
+        description: "resilience n > 3t weakened to n > 2t (the paper's §6 experiment)".into(),
+        note: None,
+        ta: ta
+            .with_resilience(resilience)
+            .renamed(format!("{}~res.gt2t", ta.name)),
+    };
+    corpus.push(weakened);
+
+    // Rule drop: a designed survivor documenting a real blind spot.
+    // Removing behaviour cannot break a safety property, and the
+    // requirement-based Appendix-F justice assumes the dropped drain
+    // exists — so the stuck runs are unfair and even `SRoundTerm`
+    // holds vacuously. Catching drops here needs rule-wise justice,
+    // which the gadget encoding does not use.
+    corpus.push(drop_rules(ta, &["s3"]).pop().unwrap().expect_survivor(
+        "drops only break liveness, and the requirement-based justice assumes the dropped \
+         drain fires — stuck runs are unfair, so SRoundTerm would hold vacuously; \
+         catching this needs rule-wise justice, which the gadget encoding does not use",
+    ));
+
+    // Quorum threshold off-by-one: decide from n-t-f-1 aux messages.
+    let a0 = ta.variable_by_name("a0").expect("a0");
+    let quorum_guard = ta
+        .unique_guards()
+        .into_iter()
+        .find(|g| g.lhs.coeff(a0) == 1 && g.lhs.iter().count() == 1 && g.rhs.coeff(n) == 1)
+        .expect("a0 >= n-t-f quorum guard");
+    corpus.push(shift_threshold(
+        ta,
+        &quorum_guard,
+        -1,
+        "thr.down.a0_quorum".into(),
+    ));
+
+    // Delivery-guard off-by-one: `bvb0 >= 1 -> bvb0 >= 0` lets a
+    // process claim a bv-delivery of 0 that never happened (and
+    // symmetrically for 1, and in the deciding round).
+    let bvb0 = ta.variable_by_name("bvb0").expect("bvb0");
+    let bvb1 = ta.variable_by_name("bvb1").expect("bvb1");
+    let bvb0_r2 = ta.variable_by_name("bvb0'").expect("bvb0'");
+    let a1 = ta.variable_by_name("a1").expect("a1");
+    for (v, label) in [
+        (bvb0, "bvb0_ge1"),
+        (bvb1, "bvb1_ge1"),
+        (bvb0_r2, "bvb0p_ge1"),
+    ] {
+        let g = AtomicGuard::ge(VarExpr::var(v), ParamExpr::constant(1));
+        corpus.push(shift_threshold(ta, &g, -1, format!("thr.down.{label}")));
+    }
+    // Round-2 quorum off-by-one: decide 0 from n-t-f-1 aux messages in
+    // the deciding round.
+    let a0_r2 = ta.variable_by_name("a0'").expect("a0'");
+    let quorum_r2 = ta
+        .unique_guards()
+        .into_iter()
+        .find(|g| g.lhs.coeff(a0_r2) == 1 && g.lhs.iter().count() == 1 && g.rhs.coeff(n) == 1)
+        .expect("a0' >= n-t-f quorum guard");
+    corpus.push(shift_threshold(
+        ta,
+        &quorum_r2,
+        -1,
+        "thr.down.a0p_quorum".into(),
+    ));
+
+    // Broadcast updates redirected: the estimate is counted on the
+    // wrong side.
+    corpus.push(tamper_update(
+        ta,
+        "s1",
+        vec![(bvb1, 1)],
+        "upd.redirect.s1".into(),
+        "counts the 0-estimate in bvb1",
+    ));
+    corpus.push(tamper_update(
+        ta,
+        "s2",
+        vec![(bvb0, 1)],
+        "upd.redirect.s2".into(),
+        "counts the 1-estimate in bvb0",
+    ));
+    // Deciding-round estimates counted on the wrong side. (The
+    // round-1 aux mirror `s3: a0 -> a1` is deliberately absent: it
+    // only *blocks* 0-decisions — inflating a1 decides 1 just when
+    // genuine 1-estimates exist — so it breaks liveness alone and the
+    // safety matrix cannot see it.)
+    let bvb1_r2 = ta.variable_by_name("bvb1'").expect("bvb1'");
+    corpus.push(tamper_update(
+        ta,
+        "s1'",
+        vec![(bvb1_r2, 1)],
+        "upd.redirect.s1p".into(),
+        "counts the round-2 0-estimate in bvb1'",
+    ));
+    corpus.push(tamper_update(
+        ta,
+        "s2'",
+        vec![(bvb0_r2, 1)],
+        "upd.redirect.s2p".into(),
+        "counts the round-2 1-estimate in bvb0'",
+    ));
+    // Aux message counted for the wrong value.
+    corpus.push(tamper_update(
+        ta,
+        "s4",
+        vec![(a0, 1)],
+        "upd.redirect.s4".into(),
+        "counts the 1-aux in a0",
+    ));
+
+    // Rule retargets: decide the wrong value, decide from the wrong
+    // qualifier, or carry the wrong estimate across the round switch.
+    corpus.push(retarget_rule(
+        ta,
+        "s8'",
+        ta.location_by_name("D0").expect("D0"),
+    ));
+    corpus.push(retarget_rule(
+        ta,
+        "s8",
+        ta.location_by_name("E1").expect("E1"),
+    ));
+    corpus.push(retarget_rule(
+        ta,
+        "s5",
+        ta.location_by_name("D1").expect("D1"),
+    ));
+    corpus.push(retarget_rule(
+        ta,
+        "s14",
+        ta.location_by_name("V0'").expect("V0'"),
+    ));
+    corpus.push(retarget_rule(
+        ta,
+        "s13",
+        ta.location_by_name("V0'").expect("V0'"),
+    ));
+
+    // The equivalent-mutant calibration point.
+    corpus.push(duplicate_rule(ta, "s1").expect_survivor(
+        "equivalent mutant: a verbatim duplicate rule adds no behaviour in counter semantics",
+    ));
+
+    // Statically ill-formed mutants: caught before verification.
+    corpus.push(flip_guard(ta, "s5"));
+    corpus.push(flip_guard(ta, "s9'"));
+    corpus.push(inject_updating_self_loop(
+        ta,
+        ta.location_by_name("M0").expect("M0"),
+        a0,
+    ));
+    corpus.push(inject_updating_self_loop(
+        ta,
+        ta.location_by_name("M1'").expect("M1'"),
+        a1,
+    ));
+
+    (model, corpus)
+}

@@ -1,0 +1,142 @@
+//! Guard-lattice shape coverage.
+//!
+//! The cross-validation suite samples random automata uniformly; most
+//! draws land on a handful of schedule-lattice shapes (no guards, one
+//! guard unlockable from the start, …) and the rarer shapes — deep
+//! implication chains, multi-guard simultaneous unlocks — go
+//! unexercised. This module abstracts an automaton to its
+//! [`LatticeShape`]: the guard-lattice statistics that the schedule
+//! enumerator actually branches on. A [`CoverageMap`] remembers the
+//! shapes seen so far, and the generator's rejection-sampling wrapper
+//! ([`crate::generator::next_biased`]) uses it to prefer automata whose
+//! shape is new.
+
+use std::collections::HashSet;
+
+use holistic_checker::{enumerate_schedules, GuardError, GuardInfo};
+use holistic_ta::ThresholdAutomaton;
+
+/// The shape of an automaton's schedule lattice: everything the
+/// schedule enumerator's search structure depends on, abstracted away
+/// from variable names and thresholds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LatticeShape {
+    /// Number of distinct rise guards.
+    pub guards: usize,
+    /// Number of implication edges between distinct guards.
+    pub implications: u32,
+    /// Number of guards that can hold initially (all shared variables
+    /// zero).
+    pub initially_unlocked: u32,
+    /// Number of distinct contexts reached across all enumerated
+    /// schedules.
+    pub contexts: usize,
+    /// `floor(log2(#schedules))` — bucketed so that near-identical
+    /// lattice sizes collapse to one shape.
+    pub schedules_log2: u32,
+}
+
+/// Computes the [`LatticeShape`] of an automaton by running guard
+/// analysis and schedule enumeration (capped at `cap` schedules).
+///
+/// # Errors
+///
+/// Propagates [`GuardError`] for automata outside the rise-guard
+/// fragment.
+pub fn lattice_shape(ta: &ThresholdAutomaton, cap: usize) -> Result<LatticeShape, GuardError> {
+    let info = GuardInfo::analyse(ta)?;
+    let enumeration = enumerate_schedules(&info, cap);
+    let mut contexts: HashSet<u64> = HashSet::new();
+    for s in &enumeration.schedules {
+        contexts.extend(s.contexts.iter().copied());
+    }
+    let implications = info.implies.iter().map(|m| m.count_ones()).sum();
+    Ok(LatticeShape {
+        guards: info.guards.len(),
+        implications,
+        initially_unlocked: info.initially_possible.count_ones(),
+        contexts: contexts.len(),
+        schedules_log2: (enumeration.counted.max(1) as u64).ilog2(),
+    })
+}
+
+/// The set of lattice shapes exercised so far.
+#[derive(Default, Debug)]
+pub struct CoverageMap {
+    seen: HashSet<LatticeShape>,
+}
+
+impl CoverageMap {
+    /// An empty coverage map.
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// Records a shape; returns `true` if it was novel.
+    pub fn observe(&mut self, shape: LatticeShape) -> bool {
+        self.seen.insert(shape)
+    }
+
+    /// Whether this shape has been seen.
+    pub fn contains(&self, shape: &LatticeShape) -> bool {
+        self.seen.contains(shape)
+    }
+
+    /// Number of distinct shapes seen.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether no shape has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{next_biased, random_ta};
+    use holistic_models::BvBroadcastModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bv_broadcast_shape_is_stable() {
+        let ta = BvBroadcastModel::new().ta;
+        let shape = lattice_shape(&ta, 10_000).expect("bv is in fragment");
+        // Four distinct guards, the two per-variable threshold pairs
+        // each ordered by implication, none initially unlockable.
+        assert_eq!(shape.guards, 4);
+        assert_eq!(shape.implications, 2);
+        assert_eq!(shape.initially_unlocked, 0);
+        assert_eq!(shape, lattice_shape(&ta, 10_000).unwrap());
+    }
+
+    #[test]
+    fn biased_sampling_covers_at_least_as_many_shapes_as_uniform() {
+        const DRAWS: usize = 30;
+        let uniform = {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut map = CoverageMap::new();
+            for _ in 0..DRAWS {
+                let ta = random_ta(&mut rng);
+                map.observe(lattice_shape(&ta, 5_000).unwrap());
+            }
+            map.len()
+        };
+        let biased = {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut map = CoverageMap::new();
+            for _ in 0..DRAWS {
+                let _ = next_biased(&mut rng, &mut map, 8, 5_000);
+            }
+            map.len()
+        };
+        assert!(
+            biased >= uniform,
+            "coverage-guided sampling regressed: {biased} < {uniform} shapes"
+        );
+        assert!(biased > 1, "sample must exercise several lattice shapes");
+    }
+}

@@ -1,0 +1,353 @@
+//! Semantic mutation operators over threshold automata.
+//!
+//! Every operator clones the subject automaton through the surgery
+//! APIs of `holistic-ta` and yields [`Mutant`]s — named, described
+//! variants with exactly one seeded deviation. Operators do **not**
+//! validate their output: some mutations (fall guards, self-loops with
+//! updates) are *supposed* to be caught by static validation and guard
+//! analysis rather than by a counterexample, and the kill matrix
+//! classifies those separately as `rejected`.
+
+use holistic_ta::{
+    AtomicGuard, Guard, LocationId, ParamCmp, ParamConstraint, RuleId, ThresholdAutomaton, VarId,
+};
+
+/// One mutant: an automaton with a single seeded semantic deviation.
+#[derive(Clone, Debug)]
+pub struct Mutant {
+    /// Stable identifier, e.g. `drop.r3` or `thr.down.b0_high`.
+    pub id: String,
+    /// Operator family, e.g. `rule-drop`.
+    pub operator: &'static str,
+    /// Human description of the seeded deviation.
+    pub description: String,
+    /// Triage note for mutants *designed* to survive (equivalent
+    /// mutants); `None` for mutants the checker is expected to catch.
+    pub note: Option<&'static str>,
+    /// The mutated automaton.
+    pub ta: ThresholdAutomaton,
+}
+
+impl Mutant {
+    fn new(
+        base: &ThresholdAutomaton,
+        id: String,
+        operator: &'static str,
+        description: String,
+        ta: ThresholdAutomaton,
+    ) -> Mutant {
+        let ta = ta.renamed(format!("{}~{id}", base.name));
+        Mutant {
+            id,
+            operator,
+            description,
+            note: None,
+            ta,
+        }
+    }
+
+    /// Attaches a triage note marking this as a designed survivor.
+    pub fn expect_survivor(mut self, note: &'static str) -> Mutant {
+        self.note = Some(note);
+        self
+    }
+}
+
+fn rule_id(ta: &ThresholdAutomaton, name: &str) -> RuleId {
+    ta.rule_by_name(name)
+        .unwrap_or_else(|| panic!("rule {name} exists in {}", ta.name))
+}
+
+/// Rule drop: removes the named rule outright (a forgotten protocol
+/// transition). One mutant per name.
+pub fn drop_rules(ta: &ThresholdAutomaton, names: &[&str]) -> Vec<Mutant> {
+    names
+        .iter()
+        .map(|name| {
+            let r = rule_id(ta, name);
+            let rule = &ta.rules[r.0];
+            Mutant::new(
+                ta,
+                format!("drop.{name}"),
+                "rule-drop",
+                format!(
+                    "rule {name} ({} -> {}) removed",
+                    ta.location_name(rule.from),
+                    ta.location_name(rule.to)
+                ),
+                ta.with_rule_removed(r),
+            )
+        })
+        .collect()
+}
+
+/// Rule duplication: appends an exact copy of the rule. In counter
+/// semantics a duplicate rule is inert, so this is the canonical
+/// *equivalent mutant* — it calibrates the survivor accounting.
+pub fn duplicate_rule(ta: &ThresholdAutomaton, name: &str) -> Mutant {
+    let r = rule_id(ta, name);
+    Mutant::new(
+        ta,
+        format!("dup.{name}"),
+        "rule-duplicate",
+        format!("rule {name} duplicated verbatim"),
+        ta.with_rule_duplicated(r, format!("{name}'")),
+    )
+}
+
+/// Threshold off-by-one: shifts the constant of one *unique* guard by
+/// `delta` in **every** rule using that guard (the "threshold macro
+/// defined wrong" bug, e.g. `2t+1-f` -> `2t-f`).
+pub fn shift_threshold(
+    ta: &ThresholdAutomaton,
+    guard: &AtomicGuard,
+    delta: i64,
+    id: String,
+) -> Mutant {
+    let mut mutant = ta.clone();
+    for rule in &mut mutant.rules {
+        if rule.guard.atoms().iter().any(|a| a == guard) {
+            let atoms: Vec<AtomicGuard> = rule
+                .guard
+                .atoms()
+                .iter()
+                .map(|a| {
+                    if a == guard {
+                        let mut shifted = a.clone();
+                        shifted.rhs.add_constant(delta);
+                        shifted
+                    } else {
+                        a.clone()
+                    }
+                })
+                .collect();
+            rule.guard = Guard::all(atoms);
+        }
+    }
+    let dir = if delta < 0 { "lowered" } else { "raised" };
+    Mutant::new(
+        ta,
+        id,
+        "threshold-off-by-one",
+        format!(
+            "threshold {} >= {} {dir} by {}",
+            guard.lhs.display(&ta.variables),
+            guard.rhs.display(&ta.params),
+            delta.abs()
+        ),
+        mutant,
+    )
+}
+
+/// Guard direction flip: turns the rule's rise guards (`>=`) into fall
+/// guards (`<`). The result leaves the increment-only rise-guard
+/// fragment, which the checker's guard analysis must refuse — a
+/// `rejected` outcome, not a counterexample.
+pub fn flip_guard(ta: &ThresholdAutomaton, name: &str) -> Mutant {
+    let r = rule_id(ta, name);
+    let atoms: Vec<AtomicGuard> = ta.rules[r.0]
+        .guard
+        .atoms()
+        .iter()
+        .map(|a| AtomicGuard::lt(a.lhs.clone(), a.rhs.clone()))
+        .collect();
+    assert!(!atoms.is_empty(), "flip target {name} must be guarded");
+    Mutant::new(
+        ta,
+        format!("flip.{name}"),
+        "guard-direction-flip",
+        format!("rule {name}: every >= guard flipped to <"),
+        ta.with_guard(r, Guard::all(atoms)),
+    )
+}
+
+/// Resilience weakening: replaces a strict `lhs > rhs` resilience
+/// constraint with `lhs >= rhs` (admitting the boundary, e.g.
+/// `n > 3t` -> `n >= 3t`).
+pub fn weaken_resilience_gt_to_ge(ta: &ThresholdAutomaton, index: usize, id: String) -> Mutant {
+    let c = &ta.resilience[index];
+    assert_eq!(c.cmp, ParamCmp::Gt, "weakening targets a strict bound");
+    let mut resilience = ta.resilience.clone();
+    resilience[index] = ParamConstraint::new(c.lhs.clone(), ParamCmp::Ge, c.rhs.clone());
+    Mutant::new(
+        ta,
+        id,
+        "resilience-weakening",
+        format!(
+            "resilience {} > {} weakened to >=",
+            c.lhs.display(&ta.params),
+            c.rhs.display(&ta.params)
+        ),
+        ta.with_resilience(resilience),
+    )
+}
+
+/// Resilience weakening by deletion: drops one constraint entirely
+/// (e.g. losing `t >= f` admits runs with more Byzantine processes
+/// than the tolerated bound).
+pub fn drop_resilience(ta: &ThresholdAutomaton, index: usize, id: String) -> Mutant {
+    let c = &ta.resilience[index];
+    let mut resilience = ta.resilience.clone();
+    resilience.remove(index);
+    Mutant::new(
+        ta,
+        id,
+        "resilience-weakening",
+        format!(
+            "resilience constraint {} {:?} {} dropped",
+            c.lhs.display(&ta.params),
+            c.cmp,
+            c.rhs.display(&ta.params)
+        ),
+        ta.with_resilience(resilience),
+    )
+}
+
+/// Update tamper: replaces the rule's update vector (dropped, redirected
+/// to another shared variable, or rescaled — the "counts the wrong
+/// thing" family of bugs).
+pub fn tamper_update(
+    ta: &ThresholdAutomaton,
+    name: &str,
+    update: Vec<(VarId, u64)>,
+    id: String,
+    what: &str,
+) -> Mutant {
+    let r = rule_id(ta, name);
+    Mutant::new(
+        ta,
+        id,
+        "update-tamper",
+        format!("rule {name}: update {what}"),
+        ta.with_update(r, update),
+    )
+}
+
+/// Rule retarget: the transition fires under the right guard but lands
+/// in the wrong location (the "deliver the wrong value" family of
+/// bugs).
+pub fn retarget_rule(ta: &ThresholdAutomaton, name: &str, to: LocationId) -> Mutant {
+    let r = rule_id(ta, name);
+    Mutant::new(
+        ta,
+        format!("retgt.{name}"),
+        "rule-retarget",
+        format!(
+            "rule {name} retargeted: {} -> {} instead of {}",
+            ta.location_name(ta.rules[r.0].from),
+            ta.location_name(to),
+            ta.location_name(ta.rules[r.0].to)
+        ),
+        ta.with_target(r, to),
+    )
+}
+
+/// Self-loop injection with an increment: adds `loc -> loc` with a
+/// non-empty update, leaving the increment-only terminating class.
+/// Static validation must reject it (`SelfLoopWithUpdate`).
+pub fn inject_updating_self_loop(ta: &ThresholdAutomaton, loc: LocationId, var: VarId) -> Mutant {
+    let name = ta.location_name(loc).to_owned();
+    Mutant::new(
+        ta,
+        format!("loop.{name}"),
+        "self-loop-injection",
+        format!("self-loop on {name} incrementing {}", ta.variables[var.0]),
+        ta.with_self_loop(loc, format!("loop_{name}"), Guard::always(), vec![(var, 1)]),
+    )
+}
+
+/// The unique guard of `ta` whose left-hand side is exactly variable
+/// `var` and whose right-hand side has coefficient `coeff` on parameter
+/// index `param` — the lookup the corpora use to address "the `2t+1-f`
+/// guard on `b0`" without hard-coding guard indices.
+pub fn find_guard(
+    ta: &ThresholdAutomaton,
+    var: &str,
+    param: &str,
+    coeff: i64,
+) -> Option<AtomicGuard> {
+    let v = ta.variable_by_name(var)?;
+    let p = ta.param_by_name(param)?;
+    ta.unique_guards()
+        .into_iter()
+        .find(|g| g.lhs.coeff(v) == 1 && g.lhs.iter().count() == 1 && g.rhs.coeff(p) == coeff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_models::BvBroadcastModel;
+    use holistic_ta::{GuardCmp, ValidationError};
+
+    #[test]
+    fn drop_and_duplicate_change_rule_counts() {
+        let ta = BvBroadcastModel::new().ta;
+        let drops = drop_rules(&ta, &["r1", "r3"]);
+        assert_eq!(drops.len(), 2);
+        for m in &drops {
+            assert_eq!(m.ta.rules.len(), ta.rules.len() - 1);
+            assert!(m.ta.validate().is_ok(), "{}: drop mutants stay valid", m.id);
+        }
+        let dup = duplicate_rule(&ta, "r3");
+        assert_eq!(dup.ta.rules.len(), ta.rules.len() + 1);
+        assert!(dup.ta.validate().is_ok());
+    }
+
+    #[test]
+    fn threshold_shift_applies_to_every_occurrence() {
+        let ta = BvBroadcastModel::new().ta;
+        // b0 >= 2t+1-f appears in r3, r8 and r12.
+        let high = find_guard(&ta, "b0", "t", 2).expect("high guard on b0");
+        let m = shift_threshold(&ta, &high, -1, "thr.down.b0_high".into());
+        let mut shifted = 0;
+        for rule in &m.ta.rules {
+            for a in rule.guard.atoms() {
+                if a.lhs == high.lhs && a.rhs.coeff(ta.param_by_name("t").unwrap()) == 2 {
+                    assert_eq!(a.rhs.constant_term(), high.rhs.constant_term() - 1);
+                    shifted += 1;
+                }
+            }
+        }
+        assert_eq!(shifted, 3, "r3, r8, r12 all use the high b0 guard");
+        assert!(m.ta.validate().is_ok());
+    }
+
+    #[test]
+    fn flip_produces_fall_guards() {
+        let ta = BvBroadcastModel::new().ta;
+        let m = flip_guard(&ta, "r3");
+        let r = m.ta.rule_by_name("r3").unwrap();
+        assert!(m.ta.rules[r.0]
+            .guard
+            .atoms()
+            .iter()
+            .all(|a| a.cmp == GuardCmp::Lt));
+    }
+
+    #[test]
+    fn injected_updating_self_loop_is_invalid() {
+        let ta = BvBroadcastModel::new().ta;
+        let loc = ta.location_by_name("B0").unwrap();
+        let var = ta.variable_by_name("b0").unwrap();
+        let m = inject_updating_self_loop(&ta, loc, var);
+        assert!(matches!(
+            m.ta.validate(),
+            Err(ValidationError::SelfLoopWithUpdate(_))
+        ));
+    }
+
+    #[test]
+    fn resilience_weakening_edits_the_right_constraint() {
+        let ta = BvBroadcastModel::new().ta;
+        // Constraint 0 is n > 3t.
+        let m = weaken_resilience_gt_to_ge(&ta, 0, "res.ge3t".into());
+        assert_eq!(m.ta.resilience[0].cmp, ParamCmp::Ge);
+        // n = 3t is now admissible.
+        assert!(m.ta.resilience.iter().all(|c| c.eval(&[3, 1, 1])));
+        assert!(!ta.resilience.iter().all(|c| c.eval(&[3, 1, 1])));
+        let d = drop_resilience(&ta, 1, "res.drop_tf".into());
+        assert_eq!(d.ta.resilience.len(), ta.resilience.len() - 1);
+        // f > t is now admissible.
+        assert!(d.ta.resilience.iter().all(|c| c.eval(&[7, 1, 2])));
+    }
+}

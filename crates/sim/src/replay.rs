@@ -1,0 +1,230 @@
+//! Replay assertions: concrete confirmation of checker counterexamples.
+//!
+//! The symbolic checker reports a violation as a [`Counterexample`] —
+//! an initial configuration plus an accelerated firing sequence. This
+//! module is the bridge that turns "the SMT encoding was satisfiable"
+//! into "here is a concrete faulty execution":
+//!
+//! 1. the firing sequence is expanded step by step through the concrete
+//!    counter-system semantics ([`Counterexample::trace`] re-checks
+//!    every guard and counter against [`holistic_ta::CounterSystem`],
+//!    independently of the encoding);
+//! 2. the *negation of the property* is re-evaluated on that concrete
+//!    trace with [`Prop::eval`](holistic_ltl::Prop::eval) — for a
+//!    safety query the witness props must actually hold somewhere on
+//!    the run; for a liveness query the final configuration must be
+//!    justice-consistent and satisfy the violating tail.
+//!
+//! The mutation-kill harness (`crates/mutate`) requires this
+//! confirmation for every kill, so no mutant is ever counted as caught
+//! on the strength of an unexecutable or vacuous counterexample.
+
+use std::fmt;
+
+use holistic_checker::Counterexample;
+use holistic_ltl::{classify, Justice, Ltl, Query};
+use holistic_ta::{Config, ThresholdAutomaton};
+
+/// Why a counterexample failed concrete confirmation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConfirmError {
+    /// The property fell outside the checkable fragment on
+    /// re-classification (the automaton changed under our feet).
+    Fragment(String),
+    /// The report's query index does not exist for this property.
+    QueryIndex(usize, usize),
+    /// The firing sequence is not a legal concrete run.
+    Replay(String),
+    /// The run replayed, but the violation does not hold on it — a
+    /// vacuous kill, which indicates a checker or encoding bug.
+    Vacuous(String),
+}
+
+impl fmt::Display for ConfirmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfirmError::Fragment(m) => write!(f, "re-classification failed: {m}"),
+            ConfirmError::QueryIndex(i, n) => {
+                write!(f, "query index {i} out of range ({n} queries)")
+            }
+            ConfirmError::Replay(m) => write!(f, "concrete replay failed: {m}"),
+            ConfirmError::Vacuous(m) => write!(f, "vacuous counterexample: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfirmError {}
+
+/// A confirmed concrete violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConfirmedViolation {
+    /// `"safety"` or `"liveness"` — which query shape was violated.
+    pub kind: &'static str,
+    /// Concrete parameter values of the faulty execution.
+    pub params: Vec<i64>,
+    /// Number of single-step configurations in the expanded trace.
+    pub trace_len: usize,
+}
+
+fn all_empty(config: &Config, locs: &[holistic_ta::LocationId]) -> bool {
+    locs.iter().all(|l| config.counters[l.0] == 0)
+}
+
+/// Confirms that `ce` — reported by the checker as a violation of
+/// query `query_index` of `spec` (the indices of
+/// [`CheckReport::queries`](holistic_checker::CheckReport) follow
+/// classification order) — is a concrete faulty execution:
+///
+/// * **safety**: the initial constraint holds at step 0, the
+///   `globally_empty` locations stay empty along the whole run, and
+///   every witness prop holds at some step;
+/// * **liveness**: additionally to the initial/emptiness obligations,
+///   the final configuration satisfies the violating tail **and** the
+///   justice assumption (no rule with a forever-true guard keeps its
+///   source populated), i.e. the run really can stall there fairly.
+///
+/// # Errors
+///
+/// [`ConfirmError`] if the run is illegal or the violation does not
+/// hold concretely (a vacuous kill).
+pub fn confirm_counterexample(
+    ta: &ThresholdAutomaton,
+    spec: &Ltl,
+    justice: &Justice,
+    query_index: usize,
+    ce: &Counterexample,
+) -> Result<ConfirmedViolation, ConfirmError> {
+    let queries = classify(ta, spec).map_err(|e| ConfirmError::Fragment(format!("{e:?}")))?;
+    let Some(query) = queries.get(query_index) else {
+        return Err(ConfirmError::QueryIndex(query_index, queries.len()));
+    };
+    let trace = ce
+        .trace(ta)
+        .map_err(|e| ConfirmError::Replay(e.to_string()))?;
+    let params = &ce.params;
+    let first = trace.first().expect("trace contains the initial config");
+    let last = trace.last().expect("trace is non-empty");
+
+    let (kind, globally_empty, initially) = match query {
+        Query::Safety {
+            globally_empty,
+            initially,
+            ..
+        } => ("safety", globally_empty, initially),
+        Query::Liveness {
+            globally_empty,
+            initially,
+            ..
+        } => ("liveness", globally_empty, initially),
+    };
+    if !initially.eval(first, params) {
+        return Err(ConfirmError::Vacuous(
+            "initial-configuration constraint fails at step 0".to_owned(),
+        ));
+    }
+    if let Some(step) = trace.iter().position(|c| !all_empty(c, globally_empty)) {
+        return Err(ConfirmError::Vacuous(format!(
+            "a globally-empty location is populated at step {step}"
+        )));
+    }
+    match query {
+        Query::Safety { witnesses, .. } => {
+            for (i, w) in witnesses.iter().enumerate() {
+                if !trace.iter().any(|c| w.eval(c, params)) {
+                    return Err(ConfirmError::Vacuous(format!(
+                        "witness {i} never holds along the run"
+                    )));
+                }
+            }
+        }
+        Query::Liveness { tail, .. } => {
+            if !tail.eval(last, params) {
+                return Err(ConfirmError::Vacuous(
+                    "the violating tail constraint fails at the final configuration".to_owned(),
+                ));
+            }
+            if !justice.as_prop().eval(last, params) {
+                return Err(ConfirmError::Vacuous(
+                    "the final configuration is not justice-consistent (the run cannot \
+                     fairly stall there)"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+    Ok(ConfirmedViolation {
+        kind,
+        params: params.clone(),
+        trace_len: trace.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_checker::{Checker, Verdict};
+    use holistic_ltl::Prop;
+    use holistic_ta::{Guard, TaBuilder};
+
+    /// A two-location automaton where the final location is reachable:
+    /// `□ empty(D)` is violated and the counterexample must confirm.
+    fn reachable_ta() -> ThresholdAutomaton {
+        let mut b = TaBuilder::new("reach");
+        let n = b.param("n");
+        let f = b.param("f");
+        b.resilience_gt(n, f, 1);
+        b.resilience_ge_const(f, 0);
+        b.resilience_ge_const(n, 1);
+        b.size_n_minus_f(n, f);
+        let x = b.shared("x");
+        let v = b.initial_location("V");
+        let d = b.final_location("D");
+        b.rule("r1", v, d, Guard::always()).inc(x, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn safety_violation_confirms_concretely() {
+        let ta = reachable_ta();
+        let d = ta.location_by_name("D").unwrap();
+        let spec = Ltl::always(Ltl::state(Prop::loc_empty(d)));
+        let justice = Justice::from_rules(&ta);
+        let report = Checker::new().check_ltl(&ta, &spec, &justice).unwrap();
+        let (index, ce) = report
+            .queries
+            .iter()
+            .enumerate()
+            .find_map(|(i, q)| match &q.verdict {
+                Verdict::Violated(ce) => Some((i, ce.clone())),
+                _ => None,
+            })
+            .expect("reachable target violates emptiness");
+        let confirmed = confirm_counterexample(&ta, &spec, &justice, index, &ce).unwrap();
+        assert_eq!(confirmed.kind, "safety");
+        assert!(confirmed.trace_len >= 2);
+    }
+
+    #[test]
+    fn tampered_counterexample_is_rejected() {
+        let ta = reachable_ta();
+        let d = ta.location_by_name("D").unwrap();
+        let spec = Ltl::always(Ltl::state(Prop::loc_empty(d)));
+        let justice = Justice::from_rules(&ta);
+        let report = Checker::new().check_ltl(&ta, &spec, &justice).unwrap();
+        let (index, mut ce) = report
+            .queries
+            .iter()
+            .enumerate()
+            .find_map(|(i, q)| match &q.verdict {
+                Verdict::Violated(ce) => Some((i, (**ce).clone())),
+                _ => None,
+            })
+            .unwrap();
+        // An overdrafted firing must fail the concrete replay.
+        ce.steps[0].times += 100;
+        assert!(matches!(
+            confirm_counterexample(&ta, &spec, &justice, index, &ce),
+            Err(ConfirmError::Replay(_))
+        ));
+    }
+}

@@ -46,6 +46,7 @@ mod expr;
 mod multiround;
 mod parse;
 mod print;
+mod surgery;
 
 pub use automaton::{Location, Rule, RuleHandle, TaBuilder, ThresholdAutomaton, ValidationError};
 pub use counter_system::{Config, CounterSystem, Exploration, SemanticsError};

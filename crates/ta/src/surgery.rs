@@ -1,0 +1,166 @@
+//! Automaton surgery: clone-and-edit operations for mutation testing.
+//!
+//! Each operation returns a *syntactically edited* copy of the
+//! automaton and deliberately does **not** revalidate it: mutation
+//! testing wants to seed exactly the kinds of breakage that
+//! [`ThresholdAutomaton::validate`] and the checker's guard analysis
+//! are supposed to reject (fall guards, self-loops with updates), so
+//! the caller decides whether an invalid result is a bug or the point.
+//! Use [`ThresholdAutomaton::validate`] on the result to classify.
+
+use crate::automaton::{Rule, ThresholdAutomaton};
+use crate::expr::{Guard, LocationId, ParamConstraint, RuleId, VarId};
+
+impl ThresholdAutomaton {
+    /// A copy with a different name (mutant corpora name each variant
+    /// so reports and cache keys stay distinguishable for humans).
+    pub fn renamed(&self, name: impl Into<String>) -> ThresholdAutomaton {
+        let mut ta = self.clone();
+        ta.name = name.into();
+        ta
+    }
+
+    /// A copy with rule `r` removed.
+    ///
+    /// # Panics
+    ///
+    /// If `r` is out of range.
+    pub fn with_rule_removed(&self, r: RuleId) -> ThresholdAutomaton {
+        let mut ta = self.clone();
+        ta.rules.remove(r.0);
+        ta
+    }
+
+    /// A copy with rule `r` duplicated under `new_name` (same source,
+    /// target, guard and update — a semantically inert "equivalent
+    /// mutant" in counter-system semantics).
+    ///
+    /// # Panics
+    ///
+    /// If `r` is out of range.
+    pub fn with_rule_duplicated(
+        &self,
+        r: RuleId,
+        new_name: impl Into<String>,
+    ) -> ThresholdAutomaton {
+        let mut ta = self.clone();
+        let mut copy = ta.rules[r.0].clone();
+        copy.name = new_name.into();
+        ta.rules.push(copy);
+        ta
+    }
+
+    /// A copy with rule `r`'s guard replaced.
+    ///
+    /// # Panics
+    ///
+    /// If `r` is out of range.
+    pub fn with_guard(&self, r: RuleId, guard: Guard) -> ThresholdAutomaton {
+        let mut ta = self.clone();
+        ta.rules[r.0].guard = guard;
+        ta
+    }
+
+    /// A copy with rule `r`'s target location replaced (the process
+    /// takes the transition but ends up in the wrong state).
+    ///
+    /// # Panics
+    ///
+    /// If `r` is out of range.
+    pub fn with_target(&self, r: RuleId, to: LocationId) -> ThresholdAutomaton {
+        let mut ta = self.clone();
+        ta.rules[r.0].to = to;
+        ta
+    }
+
+    /// A copy with rule `r`'s update vector replaced.
+    ///
+    /// # Panics
+    ///
+    /// If `r` is out of range.
+    pub fn with_update(&self, r: RuleId, update: Vec<(VarId, u64)>) -> ThresholdAutomaton {
+        let mut ta = self.clone();
+        ta.rules[r.0].update = update;
+        ta
+    }
+
+    /// A copy with the whole resilience condition replaced.
+    pub fn with_resilience(&self, resilience: Vec<ParamConstraint>) -> ThresholdAutomaton {
+        let mut ta = self.clone();
+        ta.resilience = resilience;
+        ta
+    }
+
+    /// A copy with an extra rule `loc -> loc` appended (a self-loop;
+    /// with a non-empty `update` the result is *invalid* by
+    /// construction — validation rejects unbounded increment loops).
+    pub fn with_self_loop(
+        &self,
+        loc: LocationId,
+        name: impl Into<String>,
+        guard: Guard,
+        update: Vec<(VarId, u64)>,
+    ) -> ThresholdAutomaton {
+        let mut ta = self.clone();
+        ta.rules.push(Rule {
+            name: name.into(),
+            from: loc,
+            to: loc,
+            guard,
+            update,
+            round_switch: false,
+        });
+        ta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::automaton::{TaBuilder, ValidationError};
+    use crate::expr::{Guard, RuleId, VarId};
+
+    fn demo() -> crate::ThresholdAutomaton {
+        let mut b = TaBuilder::new("demo");
+        let n = b.param("n");
+        let f = b.param("f");
+        b.resilience_gt(n, f, 1);
+        b.size_n_minus_f(n, f);
+        let x = b.shared("x");
+        let v = b.initial_location("V");
+        let d = b.final_location("D");
+        b.rule("r1", v, d, Guard::always()).inc(x, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn removal_and_duplication_edit_the_rule_list() {
+        let ta = demo();
+        assert_eq!(ta.with_rule_removed(RuleId(0)).rules.len(), 0);
+        let dup = ta.with_rule_duplicated(RuleId(0), "r1'");
+        assert_eq!(dup.rules.len(), 2);
+        assert_eq!(dup.rules[1].name, "r1'");
+        assert_eq!(dup.rules[1].guard, dup.rules[0].guard);
+        assert!(dup.validate().is_ok());
+    }
+
+    #[test]
+    fn self_loop_with_update_is_invalid_by_design() {
+        let ta = demo();
+        let d = ta.location_by_name("D").unwrap();
+        let looped = ta.with_self_loop(d, "loop", Guard::always(), vec![(VarId(0), 1)]);
+        assert!(matches!(
+            looped.validate(),
+            Err(ValidationError::SelfLoopWithUpdate(_))
+        ));
+        // Without an update the loop is inert and valid.
+        let inert = ta.with_self_loop(d, "loop", Guard::always(), vec![]);
+        assert!(inert.validate().is_ok());
+    }
+
+    #[test]
+    fn renames_and_resilience_swaps_apply() {
+        let ta = demo();
+        assert_eq!(ta.renamed("other").name, "other");
+        assert!(ta.with_resilience(vec![]).resilience.is_empty());
+    }
+}

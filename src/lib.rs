@@ -3,10 +3,12 @@
 //! Re-exports the public API of every member crate so that examples and
 //! integration tests can use a single dependency.
 
+pub use holistic_bench as bench;
 pub use holistic_checker as checker;
 pub use holistic_core as core;
 pub use holistic_lia as lia;
 pub use holistic_ltl as ltl;
 pub use holistic_models as models;
+pub use holistic_mutate as mutate;
 pub use holistic_sim as sim;
 pub use holistic_ta as ta;

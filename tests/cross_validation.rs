@@ -13,80 +13,56 @@
 //!
 //! This exercises the whole stack — guard analysis, schedule DFS,
 //! encoding, LIA solver, replay — against an independent ground truth.
+//!
+//! # Seed handling
+//!
+//! Every per-case RNG seed derives from **one master seed** as
+//! `master + case_index` (safety cases 0..40, liveness cases 100..130).
+//! The default master seed is [`DEFAULT_MASTER_SEED`]; override it with
+//! the `HOLISTIC_MASTER_SEED` environment variable to sweep a different
+//! corpus:
+//!
+//! ```sh
+//! HOLISTIC_MASTER_SEED=12345 cargo test --test cross_validation
+//! ```
+//!
+//! Every failure message prints the *derived* per-case seed, and the
+//! generator ([`holistic_verification::mutate::generator::random_ta`])
+//! guarantees stable RNG consumption order, so re-running with the same
+//! `HOLISTIC_MASTER_SEED` reproduces the exact failing automaton.
 
 use holistic_verification::checker::{Checker, Verdict};
 use holistic_verification::ltl::{Justice, Ltl, Prop};
-use holistic_verification::ta::{
-    AtomicGuard, CounterSystem, Guard, LocationId, ParamExpr, TaBuilder, ThresholdAutomaton,
-    VarExpr,
-};
+use holistic_verification::mutate::generator::random_ta;
+use holistic_verification::ta::CounterSystem;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-/// Generates a random increment-only DAG automaton with parameters
-/// `n, f`, resilience `n > 3f ∧ f ≥ 0 ∧ n ≥ 2`, and `n − f` processes.
-fn random_ta(rng: &mut StdRng) -> ThresholdAutomaton {
-    let mut b = TaBuilder::new("random");
-    let n = b.param("n");
-    let f = b.param("f");
-    b.resilience_gt(n, f, 3);
-    b.resilience_ge_const(f, 0);
-    b.resilience_ge_const(n, 2);
-    b.size_n_minus_f(n, f);
+/// The documented default master seed. All committed expectations (the
+/// sample exercises both Verified and Violated outcomes) hold for this
+/// corpus; sweeping other masters is for bug hunting, not CI.
+const DEFAULT_MASTER_SEED: u64 = 0;
 
-    let num_vars = rng.gen_range(1..=2);
-    let vars: Vec<_> = (0..num_vars).map(|i| b.shared(format!("x{i}"))).collect();
-
-    let num_locs = rng.gen_range(3..=5);
-    let mut locs: Vec<LocationId> = Vec::new();
-    for i in 0..num_locs {
-        locs.push(if i == 0 || (i == 1 && rng.gen_bool(0.5)) {
-            b.initial_location(format!("L{i}"))
-        } else if i == num_locs - 1 {
-            b.final_location(format!("L{i}"))
-        } else {
-            b.location(format!("L{i}"))
-        });
+/// The master seed: `HOLISTIC_MASTER_SEED` if set, else
+/// [`DEFAULT_MASTER_SEED`].
+fn master_seed() -> u64 {
+    match std::env::var("HOLISTIC_MASTER_SEED") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("HOLISTIC_MASTER_SEED must be a u64, got {v:?}")),
+        Err(_) => DEFAULT_MASTER_SEED,
     }
+}
 
-    let num_rules = rng.gen_range(num_locs - 1..=num_locs + 3);
-    for r in 0..num_rules {
-        // Forward edges only: guaranteed DAG. Make sure the target is
-        // reachable in the graph by always including the spine.
-        let (from, to) = if r < num_locs - 1 {
-            (r, r + 1)
-        } else {
-            let from = rng.gen_range(0..num_locs - 1);
-            (from, rng.gen_range(from + 1..num_locs))
-        };
-        let guard = if rng.gen_bool(0.5) {
-            Guard::always()
-        } else {
-            let v = vars[rng.gen_range(0..vars.len())];
-            let rhs = match rng.gen_range(0..3) {
-                0 => ParamExpr::constant(rng.gen_range(1..=2)),
-                1 => {
-                    // n - f (everyone sent)
-                    let mut e = ParamExpr::param(holistic_verification::ta::ParamId(0));
-                    e.add_term(holistic_verification::ta::ParamId(1), -1);
-                    e
-                }
-                _ => {
-                    // f + 1
-                    let mut e = ParamExpr::param(holistic_verification::ta::ParamId(1));
-                    e.add_constant(1);
-                    e
-                }
-            };
-            Guard::atom(AtomicGuard::ge(VarExpr::var(v), rhs))
-        };
-        let handle = b.rule(format!("r{r}"), locs[from], locs[to], guard);
-        if rng.gen_bool(0.6) {
-            let v = vars[rng.gen_range(0..vars.len())];
-            handle.inc(v, 1);
-        }
-    }
-    b.build().expect("generated automaton is valid")
+/// Derives the per-case seeds for `indices` from the master seed and
+/// announces the master so a failing run is reproducible from the log.
+fn case_seeds(indices: std::ops::Range<u64>) -> Vec<u64> {
+    let master = master_seed();
+    eprintln!(
+        "cross-validation cases {indices:?} under master seed {master} \
+         (override with HOLISTIC_MASTER_SEED)"
+    );
+    indices.map(|i| master.wrapping_add(i)).collect()
 }
 
 /// Concrete parameter valuations satisfying `n > 3f`.
@@ -95,41 +71,41 @@ const GRID: [[i64; 2]; 4] = [[2, 0], [3, 0], [4, 1], [5, 1]];
 #[test]
 fn safety_agrees_with_explicit_reachability() {
     let checker = Checker::new();
-    for seed in 0..40u64 {
+    for seed in case_seeds(0..40) {
         let mut rng = StdRng::seed_from_u64(seed);
         let ta = random_ta(&mut rng);
         let target = *ta.final_locations().last().unwrap();
         let spec = Ltl::always(Ltl::state(Prop::loc_empty(target)));
         let verdict = checker
             .check_ltl(&ta, &spec, &Justice::from_rules(&ta))
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"))
+            .unwrap_or_else(|e| panic!("failing seed {seed}: {e}"))
             .verdict();
 
         for params in GRID {
             let sys = CounterSystem::new(&ta, &params).unwrap();
             let ex = sys.explore(300_000);
-            assert!(ex.complete(), "seed {seed}: exploration budget");
+            assert!(ex.complete(), "failing seed {seed}: exploration budget");
             let reachable = ex.find(|c| c.counters[target.0] > 0).is_some();
             match (&verdict, reachable) {
-                (Verdict::Verified, true) => {
-                    panic!("seed {seed}: checker Verified but target reachable at {params:?}")
-                }
+                (Verdict::Verified, true) => panic!(
+                    "failing seed {seed}: checker Verified but target reachable at {params:?}"
+                ),
                 (Verdict::Violated(_), _) | (Verdict::Verified, false) => {}
-                (Verdict::Unknown(r), _) => panic!("seed {seed}: unexpected Unknown: {r}"),
+                (Verdict::Unknown(r), _) => panic!("failing seed {seed}: unexpected Unknown: {r}"),
             }
         }
         // Violations must come with consistent witness parameters.
         if let Verdict::Violated(ce) = &verdict {
             assert!(
                 ce.params[0] > 3 * ce.params[1],
-                "seed {seed}: {:?}",
+                "failing seed {seed}: {:?}",
                 ce.params
             );
             let last = ce.final_config();
             assert!(
                 ce.boundaries.iter().any(|c| c.counters[target.0] > 0)
                     || last.counters[target.0] > 0,
-                "seed {seed}: counterexample never visits the target"
+                "failing seed {seed}: counterexample never visits the target"
             );
         }
     }
@@ -140,7 +116,7 @@ fn liveness_agrees_with_explicit_stuck_analysis() {
     let checker = Checker::new();
     let mut violations = 0;
     let mut verifications = 0;
-    for seed in 100..130u64 {
+    for seed in case_seeds(100..130) {
         let mut rng = StdRng::seed_from_u64(seed);
         let ta = random_ta(&mut rng);
         let target = *ta.final_locations().last().unwrap();
@@ -157,7 +133,7 @@ fn liveness_agrees_with_explicit_stuck_analysis() {
         for params in GRID {
             let sys = CounterSystem::new(&ta, &params).unwrap();
             let ex = sys.explore(300_000);
-            assert!(ex.complete());
+            assert!(ex.complete(), "failing seed {seed}: exploration budget");
             // A fair violation exists iff some reachable stuck config
             // misses the target.
             let concrete_violation = ex
@@ -166,11 +142,11 @@ fn liveness_agrees_with_explicit_stuck_analysis() {
                 .any(|c| sys.is_stuck(c) && c.counters[target.0] == 0);
             match (&verdict, concrete_violation) {
                 (Verdict::Verified, true) => panic!(
-                    "seed {seed}: checker claims liveness but {params:?} has a fair \
+                    "failing seed {seed}: checker claims liveness but {params:?} has a fair \
                      non-reaching run"
                 ),
                 (Verdict::Violated(_), _) | (Verdict::Verified, false) => {}
-                (Verdict::Unknown(r), _) => panic!("seed {seed}: unexpected Unknown: {r}"),
+                (Verdict::Unknown(r), _) => panic!("failing seed {seed}: unexpected Unknown: {r}"),
             }
         }
         match verdict {
@@ -180,8 +156,11 @@ fn liveness_agrees_with_explicit_stuck_analysis() {
         }
     }
     // The sample must exercise both outcomes, or the test is vacuous.
-    assert!(violations > 0, "no liveness violations sampled");
-    assert!(verifications > 0, "no liveness verifications sampled");
+    // (Holds for the default master seed; a swept corpus may not.)
+    if master_seed() == DEFAULT_MASTER_SEED {
+        assert!(violations > 0, "no liveness violations sampled");
+        assert!(verifications > 0, "no liveness verifications sampled");
+    }
 }
 
 #[test]
@@ -190,14 +169,14 @@ fn safety_violations_exist_in_the_sample() {
     let checker = Checker::new();
     let mut seen_violation = false;
     let mut seen_verified = false;
-    for seed in 0..40u64 {
+    for seed in case_seeds(0..40) {
         let mut rng = StdRng::seed_from_u64(seed);
         let ta = random_ta(&mut rng);
         let target = *ta.final_locations().last().unwrap();
         let spec = Ltl::always(Ltl::state(Prop::loc_empty(target)));
         match checker
             .check_ltl(&ta, &spec, &Justice::from_rules(&ta))
-            .unwrap()
+            .unwrap_or_else(|e| panic!("failing seed {seed}: {e}"))
             .verdict()
         {
             Verdict::Violated(_) => seen_violation = true,
@@ -205,7 +184,9 @@ fn safety_violations_exist_in_the_sample() {
             Verdict::Unknown(_) => {}
         }
     }
-    assert!(seen_violation, "sample never reaches the target");
+    if master_seed() == DEFAULT_MASTER_SEED {
+        assert!(seen_violation, "sample never reaches the target");
+    }
     // Note: with a spine of rules L0 -> ... -> Lk, most targets are
     // reachable; Verified cases come from unsatisfiable guard chains.
     let _ = seen_verified;

@@ -16,8 +16,23 @@ use std::time::{Duration, Instant};
 use holistic_verification::checker::{Checker, CheckerConfig, Strategy, Verdict};
 use holistic_verification::models::{NaiveConsensusModel, SimplifiedConsensusModel};
 
+/// The workspace-wide slow-test gate: tests behind it run only when
+/// `HOLISTIC_SLOW=1` (CI's nightly job sets it; the per-push job and a
+/// plain `cargo test` do not — see README "Testing"). Returns `true`
+/// when the calling test should return early.
+fn skip_slow(name: &str) -> bool {
+    if std::env::var("HOLISTIC_SLOW").as_deref() == Ok("1") {
+        return false;
+    }
+    eprintln!("{name}: skipped (slow test); set HOLISTIC_SLOW=1 to run");
+    true
+}
+
 #[test]
 fn inv1_verifies_for_all_parameters() {
+    if skip_slow("inv1_verifies_for_all_parameters") {
+        return;
+    }
     let model = SimplifiedConsensusModel::new();
     let checker = Checker::new();
     let report = checker
@@ -35,6 +50,9 @@ fn inv1_verifies_for_all_parameters() {
 
 #[test]
 fn sround_term_verifies_for_all_parameters() {
+    if skip_slow("sround_term_verifies_for_all_parameters") {
+        return;
+    }
     let model = SimplifiedConsensusModel::new();
     let checker = Checker::new();
     let report = checker
