@@ -27,15 +27,27 @@
 //! by intent via a comma list) restrict the matrix, so the dev loop on
 //! one hot property doesn't pay for the full run. Filtered runs skip
 //! the baseline *totals* block but still gate the selected rows.
+//!
+//! `--checkpoint DIR` persists every completed cell (and the
+//! exploration cache) to a versioned checkpoint through the
+//! supervisor; `--resume DIR` additionally loads whatever a previous
+//! (killed) run completed and computes only the remainder.
+//! `--checkpoint-every N` controls the cache-snapshot cadence
+//! (default 1 = after every cell). Supervised runs are single-pass:
+//! a second iteration would just reload the checkpoint. The
+//! `HOLISTIC_CHAOS` env hook (`panic-every=N,budget-ms=M`) injects
+//! worker panics and a tiny budget for the CI chaos-smoke job.
 
 use std::env;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use holistic_bench::json::{escape, num, Json};
 use holistic_checker::{CheckReport, Checker, CheckerConfig, MatrixJob, Verdict};
 use holistic_models::{BvBroadcastModel, SimplifiedConsensusModel};
+use holistic_supervise::{ChaosOptions, Checkpoint, SupervisedJob, Supervisor, SupervisorConfig};
 
 /// Factor by which a property may slow down vs the baseline before the
 /// comparison fails.
@@ -101,6 +113,13 @@ impl Filter {
     }
 }
 
+/// Checkpoint/resume options for a supervised run.
+struct SuperviseOpts {
+    dir: PathBuf,
+    resume: bool,
+    every: usize,
+}
+
 /// One full pass over the decomposed matrix with a cold shared cache.
 ///
 /// `--threads N` with `N > 1` hands the properties to the checker's
@@ -109,14 +128,25 @@ impl Filter {
 /// so the dominant simplified-consensus properties overlap instead of
 /// serializing. `N <= 1` (and the default) is the sequential,
 /// byte-deterministic walk.
-fn run_matrix(threads: Option<usize>, filter: &Filter) -> Vec<(&'static str, String, CheckReport)> {
+///
+/// Returns the per-property reports plus the supervisor's checkpoint
+/// overhead (zero when checkpointing is off).
+fn run_matrix(
+    threads: Option<usize>,
+    filter: &Filter,
+    supervise: Option<&SuperviseOpts>,
+) -> (Vec<(&'static str, String, CheckReport)>, Duration) {
     let workers = threads.unwrap_or(1);
-    let checker = Checker::with_config(CheckerConfig {
+    let mut config = CheckerConfig {
         // Property-level concurrency subsumes intra-property pooling
         // here; each matrix job stays single-threaded internally.
         threads: if workers > 1 { Some(1) } else { threads },
         ..CheckerConfig::default()
-    });
+    };
+    if let Some(chaos) = ChaosOptions::from_env() {
+        eprintln!("  chaos injection armed: {chaos:?}");
+        chaos.apply(&mut config);
+    }
     let bv = BvBroadcastModel::new();
     let bv_justice = bv.justice();
     let bv_specs: Vec<_> = bv
@@ -151,18 +181,100 @@ fn run_matrix(threads: Option<usize>, filter: &Filter) -> Vec<(&'static str, Str
         });
     }
 
-    let reports = checker.check_matrix(&jobs, workers);
-    labels
-        .into_iter()
-        .zip(reports)
-        .map(|((automaton, name), report)| {
-            let report = report.unwrap_or_else(|e| panic!("{automaton}/{name}: {e}"));
-            (automaton, name.to_string(), report)
+    let Some(opts) = supervise else {
+        let checker = Checker::with_config(config);
+        let reports = checker.check_matrix(&jobs, workers);
+        let rows = labels
+            .into_iter()
+            .zip(reports)
+            .map(|((automaton, name), report)| {
+                let report = report.unwrap_or_else(|e| panic!("{automaton}/{name}: {e}"));
+                (automaton, name.to_string(), report)
+            })
+            .collect();
+        return (rows, Duration::ZERO);
+    };
+
+    // Supervised path: per-cell isolation/retry/degradation plus the
+    // on-disk checkpoint.
+    let master_seed: u64 = env::var("HOLISTIC_MASTER_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let ids: Vec<String> = labels.iter().map(|(a, n)| format!("{a}/{n}")).collect();
+    let supervised: Vec<SupervisedJob<'_>> = jobs
+        .iter()
+        .zip(labels.iter().zip(&ids))
+        .map(|(job, ((_, name), id))| SupervisedJob {
+            id: id.clone(),
+            property: (*name).to_owned(),
+            ta: job.ta,
+            spec: job.spec,
+            justice: job.justice,
         })
-        .collect()
+        .collect();
+    let checkpoint = if opts.resume && opts.dir.join("manifest.json").exists() {
+        let (cp, manifest) = Checkpoint::open(&opts.dir)
+            .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", opts.dir.display()));
+        assert_eq!(
+            manifest.cells,
+            ids,
+            "checkpoint at {} belongs to a different matrix",
+            opts.dir.display()
+        );
+        cp
+    } else {
+        Checkpoint::create(&opts.dir, "table2", master_seed, &ids)
+            .unwrap_or_else(|e| panic!("cannot create checkpoint {}: {e}", opts.dir.display()))
+    };
+    let supervisor = Supervisor::new(SupervisorConfig {
+        checker: config,
+        workers,
+        checkpoint_every: opts.every,
+        master_seed,
+        ..SupervisorConfig::default()
+    });
+    let run = supervisor
+        .run(&supervised, Some(&checkpoint))
+        .unwrap_or_else(|e| panic!("supervised run failed: {e}"));
+    if run.resumed_cells() > 0 {
+        eprintln!(
+            "  resumed {} completed cell(s) from {}",
+            run.resumed_cells(),
+            opts.dir.display()
+        );
+    }
+    for cell in &run.cells {
+        let r = &cell.record;
+        if let Some(kind) = r.failure {
+            eprintln!(
+                "  {}: {} (rung {}, {} attempt(s){})",
+                r.id,
+                kind,
+                r.rung,
+                r.attempts,
+                r.note
+                    .as_deref()
+                    .map(|n| format!("; {n}"))
+                    .unwrap_or_default()
+            );
+        }
+    }
+    let overhead = run.checkpoint_overhead;
+    let rows = labels
+        .into_iter()
+        .zip(run.cells)
+        .map(|((automaton, name), cell)| (automaton, name.to_string(), cell.record.report))
+        .collect();
+    (rows, overhead)
 }
 
-fn emit(results: &[PropResult], iters: usize, baseline: Option<(&str, f64, f64)>) -> String {
+fn emit(
+    results: &[PropResult],
+    iters: usize,
+    supervisor_overhead_ms: Option<f64>,
+    baseline: Option<(&str, f64, f64)>,
+) -> String {
     let total_ms: f64 = results.iter().map(|r| r.wall_ms).sum();
     let threads = results.first().map_or(1, |r| r.threads);
     let mut out = String::new();
@@ -172,6 +284,17 @@ fn emit(results: &[PropResult], iters: usize, baseline: Option<(&str, f64, f64)>
     let _ = writeln!(out, "  \"threads\": {threads},");
     let _ = writeln!(out, "  \"iters\": {iters},");
     let _ = writeln!(out, "  \"total_wall_ms\": {},", num(total_ms));
+    // Supervisor overhead: time spent writing checkpoint files. Null
+    // when checkpointing was off, so the perf trajectory can tell "no
+    // checkpointing" from "free checkpointing".
+    match supervisor_overhead_ms {
+        Some(ms) => {
+            let _ = writeln!(out, "  \"supervisor_overhead_ms\": {},", num(ms));
+        }
+        None => {
+            let _ = writeln!(out, "  \"supervisor_overhead_ms\": null,");
+        }
+    }
     if let Some((file, base_ms, speedup)) = baseline {
         let _ = writeln!(out, "  \"baseline_file\": \"{}\",", escape(file));
         let _ = writeln!(out, "  \"baseline_total_wall_ms\": {},", num(base_ms));
@@ -315,7 +438,7 @@ fn main() -> ExitCode {
             .and_then(|i| args.get(i + 1))
     };
     let quick = args.iter().any(|a| a == "--quick");
-    let iters: usize = flag_value("--iters")
+    let mut iters: usize = flag_value("--iters")
         .and_then(|s| s.parse().ok())
         .unwrap_or(if quick { 1 } else { 3 });
     let threads: Option<usize> = flag_value("--threads").and_then(|s| s.parse().ok());
@@ -325,6 +448,31 @@ fn main() -> ExitCode {
         automaton: flag_value("--automaton").cloned(),
         property: flag_value("--property").cloned(),
     };
+    let resume_dir = flag_value("--resume").map(PathBuf::from);
+    let checkpoint_dir = flag_value("--checkpoint").map(PathBuf::from);
+    let supervise = match (resume_dir, checkpoint_dir) {
+        (Some(dir), _) => Some(SuperviseOpts {
+            dir,
+            resume: true,
+            every: 1,
+        }),
+        (None, Some(dir)) => Some(SuperviseOpts {
+            dir,
+            resume: false,
+            every: 1,
+        }),
+        (None, None) => None,
+    };
+    let supervise = supervise.map(|mut opts| {
+        opts.every = flag_value("--checkpoint-every")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1);
+        opts
+    });
+    if supervise.is_some() && iters > 1 {
+        eprintln!("checkpointed runs are single-pass; forcing --iters 1");
+        iters = 1;
+    }
 
     // Read the baseline up front: `--out` may point at the same file.
     let baseline = baseline_path.map(|path| {
@@ -338,8 +486,10 @@ fn main() -> ExitCode {
         threads.map_or("auto".to_owned(), |t| t.to_string())
     );
     let mut results: Vec<PropResult> = Vec::new();
+    let mut supervisor_overhead = Duration::ZERO;
     for iter in 0..iters {
-        let pass = run_matrix(threads, &filter);
+        let (pass, overhead) = run_matrix(threads, &filter, supervise.as_ref());
+        supervisor_overhead += overhead;
         for (idx, (automaton, property, report)) in pass.into_iter().enumerate() {
             let wall_ms = report.duration.as_secs_f64() * 1e3;
             if iter == 0 {
@@ -408,7 +558,10 @@ fn main() -> ExitCode {
         })
     });
 
-    let doc = emit(&results, iters, baseline_block);
+    let overhead_ms = supervise
+        .as_ref()
+        .map(|_| supervisor_overhead.as_secs_f64() * 1e3);
+    let doc = emit(&results, iters, overhead_ms, baseline_block);
     std::fs::write(out_path, &doc).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 

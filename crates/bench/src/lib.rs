@@ -13,7 +13,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod json;
+pub use holistic_core::json;
 
 use std::time::Duration;
 

@@ -1,7 +1,8 @@
 //! The parameterized model checker: public API and strategy driver.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -42,6 +43,27 @@ impl fmt::Display for Strategy {
     }
 }
 
+/// Fault-injection hooks for chaos testing the worker-isolation path.
+/// Everything defaults to "off"; the supervisor layer populates it from
+/// the `HOLISTIC_CHAOS` environment hook, and the regression tests set
+/// it directly (an in-config knob avoids racy env mutation across
+/// parallel tests).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ChaosConfig {
+    /// Panic inside a DFS worker at every `N`th feasibility decision
+    /// across the exploration (`0` disables). The panic is deliberately
+    /// raised where a guard-evaluation bug would strike: right before
+    /// the prefix's feasibility is resolved.
+    pub panic_every: u64,
+}
+
+impl ChaosConfig {
+    /// Whether any fault injection is armed.
+    pub fn is_armed(&self) -> bool {
+        self.panic_every > 0
+    }
+}
+
 /// Configuration of a [`Checker`].
 #[derive(Clone, Debug)]
 pub struct CheckerConfig {
@@ -74,6 +96,8 @@ pub struct CheckerConfig {
     /// subtrees. `false` restores fully independent per-property DFS
     /// (used by the equivalence tests).
     pub share_exploration: bool,
+    /// Fault injection for chaos testing (defaults to off).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for CheckerConfig {
@@ -85,6 +109,7 @@ impl Default for CheckerConfig {
             strategy: Strategy::Auto,
             threads: None,
             share_exploration: true,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -262,6 +287,23 @@ impl fmt::Display for CheckError {
 
 impl std::error::Error for CheckError {}
 
+/// The canonical prefix of every panic-derived `Unknown` verdict, so
+/// downstream failure classification (the supervisor's taxonomy) can
+/// recognise worker panics without a dedicated verdict variant.
+pub const WORKER_PANIC_PREFIX: &str = "worker panic";
+
+/// Renders a caught panic payload as text (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
 impl From<ValidationError> for CheckError {
     fn from(e: ValidationError) -> CheckError {
         CheckError::Validation(e)
@@ -345,6 +387,13 @@ impl Checker {
     /// The number of recorded explorations in the shared cache.
     pub fn cached_explorations(&self) -> usize {
         self.cache.len()
+    }
+
+    /// The shared cross-property exploration cache, for checkpointing
+    /// ([`ExplorationCache::export`]) and resume
+    /// ([`ExplorationCache::import`]).
+    pub fn exploration_cache(&self) -> &ExplorationCache {
+        &self.cache
     }
 
     /// Checks an LTL property of the automaton for **all** parameter
@@ -591,13 +640,38 @@ impl Checker {
             queue: Mutex::new(seeds),
             available: Condvar::new(),
             error: Mutex::new(None),
+            chaos_ticks: AtomicU64::new(0),
         };
+
+        // A worker panic (a checker bug, or injected chaos) must not
+        // abort the whole exploration — let alone a whole matrix run.
+        // Each worker body runs under `catch_unwind`; a panic poisons
+        // only that worker's recording (`saw_unknown`, so it is never
+        // replayed as complete) and degrades the verdict to `Unknown`
+        // with the canonical [`WORKER_PANIC_PREFIX`].
+        fn run_isolated(w: &mut Worker<'_>) {
+            let ex = w.ex;
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| w.run())) {
+                w.unknown.get_or_insert(format!(
+                    "{WORKER_PANIC_PREFIX}: {}",
+                    panic_message(payload.as_ref())
+                ));
+                w.recorder.saw_unknown = true;
+                // The in-flight task's `pending` slot was never released
+                // and partial results are untrustworthy: stop the
+                // exploration and wake any workers parked on the queue
+                // so the pool drains instead of deadlocking.
+                ex.stop.store(true, Ordering::SeqCst);
+                let _guard = ex.queue.lock().unwrap_or_else(|p| p.into_inner());
+                ex.available.notify_all();
+            }
+        }
 
         let mut workers: Vec<Worker<'_>> = Vec::with_capacity(threads);
         if threads == 1 {
             // Fully sequential: no pool, byte-deterministic.
             let mut w = Worker::new(&ex);
-            w.run();
+            run_isolated(&mut w);
             workers.push(w);
         } else {
             std::thread::scope(|scope| {
@@ -605,16 +679,17 @@ impl Checker {
                     .map(|_| {
                         scope.spawn(|| {
                             let mut w = Worker::new(&ex);
-                            w.run();
+                            run_isolated(&mut w);
                             w
                         })
                     })
                     .collect();
                 // Joining in spawn order keeps the merge deterministic
                 // for everything summed; order-sensitive fields are
-                // canonicalized below.
+                // canonicalized below. Panics never propagate here —
+                // `run_isolated` caught them inside the closure.
                 for h in handles {
-                    workers.push(h.join().expect("exploration worker panicked"));
+                    workers.push(h.join().expect("worker closures do not panic"));
                 }
             });
         }
@@ -692,13 +767,9 @@ impl Checker {
         }
         let num_segments = info.len() + 1 + plan.witnesses.len();
         let segments = vec![SegmentKind::Free; num_segments];
-        let mut enc = Encoding::with_segments(
-            ta,
-            info,
-            &segments,
-            &plan.globally_empty,
-            self.config.solver,
-        );
+        let mut solver = self.config.solver;
+        solver.deadline = deadline;
+        let mut enc = Encoding::with_segments(ta, info, &segments, &plan.globally_empty, solver);
         enc.assert_prop_at(&plan.initially, 0);
         plan.assert_query(&mut enc, info);
         let result = enc.check();
@@ -775,6 +846,11 @@ struct Explore<'a> {
     queue: Mutex<Vec<Vec<u64>>>,
     available: Condvar,
     error: Mutex<Option<CheckError>>,
+    /// Global feasibility-decision counter driving
+    /// [`ChaosConfig::panic_every`] (shared across workers so the Nth
+    /// decision panics exactly once per exploration regardless of
+    /// scheduling).
+    chaos_ticks: AtomicU64,
 }
 
 /// Merged result of one exploration.
@@ -880,12 +956,12 @@ impl<'a> Worker<'a> {
     /// A fresh encoding holding only the base assertions (no segments).
     fn fresh_encoding(&self) -> Encoding<'a> {
         let spec = self.ex.spec;
-        let mut enc = Encoding::new(
-            spec.ta,
-            spec.info,
-            spec.globally_empty,
-            self.ex.checker.config.solver,
-        );
+        // The query deadline reaches into the solver so a pathological
+        // tableau is interrupted mid-pivot instead of overshooting the
+        // budget by the length of one unbounded simplex run.
+        let mut solver = self.ex.checker.config.solver;
+        solver.deadline = spec.deadline;
+        let mut enc = Encoding::new(spec.ta, spec.info, spec.globally_empty, solver);
         enc.assert_prop_at(spec.initially, 0);
         enc
     }
@@ -1010,6 +1086,16 @@ impl<'a> Worker<'a> {
         if spec.deadline.is_some_and(|d| Instant::now() >= d) {
             self.timed_out = true;
             return Ok(());
+        }
+        // Chaos hook: fault injection at the point a buggy guard
+        // evaluation would strike. Exercised by the worker-isolation
+        // regression tests and the CI chaos-smoke job.
+        let chaos = ex.checker.config.chaos;
+        if chaos.panic_every > 0 {
+            let tick = ex.chaos_ticks.fetch_add(1, Ordering::SeqCst) + 1;
+            if tick.is_multiple_of(chaos.panic_every) {
+                panic!("injected chaos panic at feasibility decision {tick}");
+            }
         }
         // Feasibility pruning: if the base constraints of the prefix are
         // unsatisfiable, so is every extension.

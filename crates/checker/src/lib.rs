@@ -48,11 +48,12 @@ mod guards;
 mod matrix;
 
 pub use checker::{
-    CheckError, CheckReport, Checker, CheckerConfig, QueryReport, QueryStats, Strategy, Verdict,
+    panic_message, ChaosConfig, CheckError, CheckReport, Checker, CheckerConfig, QueryReport,
+    QueryStats, Strategy, Verdict, WORKER_PANIC_PREFIX,
 };
 pub use counterexample::{CeStep, Counterexample, ReplayError};
 pub use encode::{Encoding, SegmentKind, SymbolicRun};
 pub use enumeration::{count_schedules, enumerate_schedules, ContextSchedule, ScheduleEnumeration};
-pub use explore::{Exploration, ExplorationCache, ExplorationKey, Pruner};
+pub use explore::{Exploration, ExplorationCache, ExplorationKey, ExplorationSnapshot, Pruner};
 pub use guards::{GuardError, GuardInfo};
 pub use matrix::MatrixJob;

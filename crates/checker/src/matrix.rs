@@ -16,13 +16,19 @@
 //! therefore affects only wall time and cache-hit counters, never
 //! results; `tests/exploration_equivalence.rs` pins this.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
+use holistic_lia::SolverStats;
 use holistic_ltl::{Justice, Ltl};
 use holistic_ta::ThresholdAutomaton;
 
-use crate::checker::{CheckError, CheckReport, Checker};
+use crate::checker::{
+    panic_message, CheckError, CheckReport, Checker, QueryReport, QueryStats, Verdict,
+    WORKER_PANIC_PREFIX,
+};
 
 /// One cell of the verification matrix: a property of one automaton
 /// under one justice assumption.
@@ -51,10 +57,7 @@ impl Checker {
         let n = jobs.len();
         let workers = workers.min(n);
         if workers <= 1 {
-            return jobs
-                .iter()
-                .map(|j| self.check_ltl(j.ta, j.spec, j.justice))
-                .collect();
+            return jobs.iter().map(|j| self.check_cell(j)).collect();
         }
         let results: Vec<Mutex<Option<Result<CheckReport, CheckError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
@@ -66,8 +69,7 @@ impl Checker {
                     if i >= n {
                         break;
                     }
-                    let j = &jobs[i];
-                    let r = self.check_ltl(j.ta, j.spec, j.justice);
+                    let r = self.check_cell(&jobs[i]);
                     *results[i].lock().unwrap() = Some(r);
                 });
             }
@@ -76,5 +78,47 @@ impl Checker {
             .into_iter()
             .map(|m| m.into_inner().unwrap().expect("every job slot is filled"))
             .collect()
+    }
+
+    /// Checks one matrix cell with panic isolation: a panic anywhere in
+    /// the cell's exploration (including inside the intra-property DFS
+    /// pool) is translated into a per-cell
+    /// `Verdict::Unknown("worker panic: ...")` report instead of
+    /// aborting the whole matrix run.
+    pub fn check_cell(&self, job: &MatrixJob<'_>) -> Result<CheckReport, CheckError> {
+        let start = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.check_ltl(job.ta, job.spec, job.justice)
+        })) {
+            Ok(r) => r,
+            Err(payload) => Ok(panicked_report(
+                panic_message(payload.as_ref()),
+                start.elapsed(),
+            )),
+        }
+    }
+}
+
+/// A synthetic report for a cell whose worker panicked: one query with
+/// an `Unknown` verdict carrying the panic message and zeroed stats.
+fn panicked_report(message: String, duration: Duration) -> CheckReport {
+    CheckReport {
+        queries: vec![QueryReport {
+            verdict: Verdict::Unknown(format!("{WORKER_PANIC_PREFIX}: {message}")),
+            stats: QueryStats {
+                schemas: 0,
+                avg_segments: 0.0,
+                duration,
+                capped: false,
+                timed_out: false,
+                strategy: crate::checker::Strategy::Auto,
+                solver: SolverStats::default(),
+                cache_hits: 0,
+                cache_misses: 0,
+                replayed: false,
+                threads: 1,
+            },
+        }],
+        duration,
     }
 }

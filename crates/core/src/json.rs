@@ -1,9 +1,15 @@
 //! A minimal JSON value type, parser and emitter helpers.
 //!
-//! The bench harness emits and compares `BENCH_table2.json` files; the
-//! toolchain here is offline (no `serde_json`), so this module carries
-//! just enough JSON to round-trip the bench schema: objects, arrays,
-//! strings, numbers, booleans and null, with `f64` numerics.
+//! The bench harness emits and compares `BENCH_table2.json` files and
+//! the supervisor writes on-disk checkpoints; the toolchain here is
+//! offline (no `serde_json`), so this module carries just enough JSON
+//! to round-trip those schemas: objects, arrays, strings, numbers,
+//! booleans and null, with `f64` numerics.
+//!
+//! Note on numbers: [`num`] renders non-integral values rounded to
+//! three decimals for human-facing bench files. Checkpoints that must
+//! round-trip `f64` exactly should format with `{}` (Rust's shortest
+//! round-trip `Display`) instead.
 
 use std::fmt::Write as _;
 

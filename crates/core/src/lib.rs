@@ -33,6 +33,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod json;
+
 use std::time::{Duration, Instant};
 
 use holistic_checker::{CheckError, Checker, CheckerConfig, Verdict};

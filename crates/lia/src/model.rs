@@ -123,6 +123,9 @@ pub enum UnknownReason {
     /// check, so any computed verdict would be untrustworthy (see
     /// [`Rat::take_overflow_flag`](crate::Rat::take_overflow_flag)).
     RatOverflow,
+    /// The wall-clock deadline expired inside the simplex pivot loop
+    /// (see [`SolverConfig::deadline`](crate::SolverConfig)).
+    Deadline,
 }
 
 impl fmt::Display for UnknownReason {
@@ -131,6 +134,7 @@ impl fmt::Display for UnknownReason {
             UnknownReason::BranchBudget => write!(f, "branch-and-bound node budget exhausted"),
             UnknownReason::SplitBudget => write!(f, "case-split budget exhausted"),
             UnknownReason::RatOverflow => write!(f, "rational arithmetic overflowed i128"),
+            UnknownReason::Deadline => write!(f, "wall-clock deadline expired mid-check"),
         }
     }
 }

@@ -44,6 +44,10 @@ pub enum LpResult {
     Feasible,
     /// The asserted bounds are unsatisfiable over ℚ (hence also over ℤ).
     Infeasible,
+    /// The deadline expired mid-pivot; neither verdict is trustworthy.
+    /// Only produced when a deadline is set (see
+    /// [`Simplex::set_deadline`]).
+    TimedOut,
 }
 
 #[derive(Clone, Debug)]
@@ -163,7 +167,15 @@ pub struct Simplex {
     levels: Vec<usize>,
     /// Pivot counter (statistics).
     pivots: u64,
+    /// Hard wall-clock deadline for [`check`](Simplex::check); polled
+    /// every [`DEADLINE_STRIDE`] pivots so a single pathological tableau
+    /// cannot overshoot the caller's time budget by orders of magnitude.
+    deadline: Option<std::time::Instant>,
 }
+
+/// How many pivots pass between deadline polls. `Instant::now` costs a
+/// vdso call — cheap, but not free against a sub-microsecond pivot.
+const DEADLINE_STRIDE: u64 = 64;
 
 impl Simplex {
     /// Creates an empty tableau.
@@ -196,6 +208,12 @@ impl Simplex {
     /// Total pivots performed so far (statistic).
     pub fn pivot_count(&self) -> u64 {
         self.pivots
+    }
+
+    /// Sets (or clears) the wall-clock deadline enforced inside
+    /// [`check`](Simplex::check)'s pivot loop.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
     }
 
     /// The name a variable was created with.
@@ -366,7 +384,8 @@ impl Simplex {
                 (Rel::Ge, true) | (Rel::Le, false) => self.assert_lower(v, bound),
                 (Rel::Eq, _) => match self.assert_lower(v, bound) {
                     LpResult::Infeasible => LpResult::Infeasible,
-                    LpResult::Feasible => self.assert_upper(v, bound),
+                    // assert_lower never times out (no pivoting).
+                    _ => self.assert_upper(v, bound),
                 },
             };
         }
@@ -377,7 +396,8 @@ impl Simplex {
             Rel::Ge => self.assert_lower(slack, bound),
             Rel::Eq => match self.assert_lower(slack, bound) {
                 LpResult::Infeasible => LpResult::Infeasible,
-                LpResult::Feasible => self.assert_upper(slack, bound),
+                // assert_lower never times out (no pivoting).
+                _ => self.assert_upper(slack, bound),
             },
         }
     }
@@ -561,7 +581,16 @@ impl Simplex {
         if self.conflicts > 0 {
             return LpResult::Infeasible;
         }
+        let mut next_poll = self.pivots + DEADLINE_STRIDE;
         loop {
+            if let Some(deadline) = self.deadline {
+                if self.pivots >= next_poll {
+                    if std::time::Instant::now() >= deadline {
+                        return LpResult::TimedOut;
+                    }
+                    next_poll = self.pivots + DEADLINE_STRIDE;
+                }
+            }
             // Smallest violated basic variable. Every violated basic var
             // is in `suspect` (only value changes and bound tightenings
             // create violations, and both insert), so scanning the

@@ -15,6 +15,11 @@ pub struct SolverConfig {
     pub max_branch_nodes: u64,
     /// Maximum disjunction case splits across the whole check.
     pub max_case_splits: u64,
+    /// Hard wall-clock deadline polled inside the simplex pivot loop.
+    /// `None` (the default) disables the check entirely. Expiry yields
+    /// [`SatResult::Unknown`] with [`UnknownReason::Deadline`] — never a
+    /// wrong Sat/Unsat verdict.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for SolverConfig {
@@ -22,12 +27,13 @@ impl Default for SolverConfig {
         SolverConfig {
             max_branch_nodes: 200_000,
             max_case_splits: 200_000,
+            deadline: None,
         }
     }
 }
 
 /// Cumulative solver statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct SolverStats {
     /// Number of `check` calls.
     pub checks: u64,
@@ -131,8 +137,10 @@ impl Solver {
 
     /// Creates a solver with explicit budgets.
     pub fn with_config(config: SolverConfig) -> Solver {
+        let mut simplex = Simplex::new();
+        simplex.set_deadline(config.deadline);
         Solver {
-            simplex: Simplex::new(),
+            simplex,
             user_vars: Vec::new(),
             levels: vec![Level::default()],
             interner: Interner::new(),
@@ -175,6 +183,14 @@ impl Solver {
     /// The name a variable was created with.
     pub fn var_name(&self, v: Var) -> &str {
         self.simplex.var_name(v)
+    }
+
+    /// Sets (or clears) the wall-clock deadline for subsequent checks.
+    /// Lets long-lived incremental sessions tighten the deadline per
+    /// query without rebuilding the tableau.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.config.deadline = deadline;
+        self.simplex.set_deadline(deadline);
     }
 
     /// A handle to the constraint interner, for callers that construct
@@ -308,8 +324,10 @@ impl Solver {
         }
         // Prune before splitting: if the relaxation of the conjunctive
         // part is already infeasible, no disjunct can rescue it.
-        if self.simplex.check() == LpResult::Infeasible {
-            return SatResult::Unsat;
+        match self.simplex.check() {
+            LpResult::Infeasible => return SatResult::Unsat,
+            LpResult::TimedOut => return SatResult::Unknown(UnknownReason::Deadline),
+            LpResult::Feasible => {}
         }
         if disjunctions.is_empty() {
             return self.branch_and_bound(budget, 0);
@@ -339,8 +357,11 @@ impl Solver {
             for disj in d {
                 if Self::is_conjunctive(&disj) {
                     self.simplex.push();
+                    // A timed-out probe keeps the disjunct: dropping it
+                    // could turn a genuine Sat into Unsat, whereas
+                    // keeping it only costs branching work.
                     let feasible = self.assert_conjunctive(&disj)
-                        && self.simplex.check() == LpResult::Feasible;
+                        && self.simplex.check() != LpResult::Infeasible;
                     self.simplex.pop();
                     if feasible {
                         kept.push(disj);
@@ -429,8 +450,10 @@ impl Solver {
         /// this deep; an adversarial unbounded system must not overflow
         /// the stack, so past this depth we give up with `Unknown`.
         const MAX_DEPTH: u32 = 1_000;
-        if self.simplex.check() == LpResult::Infeasible {
-            return SatResult::Unsat;
+        match self.simplex.check() {
+            LpResult::Infeasible => return SatResult::Unsat,
+            LpResult::TimedOut => return SatResult::Unknown(UnknownReason::Deadline),
+            LpResult::Feasible => {}
         }
         let fractional = self
             .user_vars

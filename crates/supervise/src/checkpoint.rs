@@ -1,0 +1,823 @@
+//! Versioned on-disk checkpoints for matrix runs.
+//!
+//! Layout of a checkpoint directory:
+//!
+//! ```text
+//! <dir>/manifest.json   — version, label, master seed, cell ids
+//! <dir>/cells/<id>.json — one file per *completed* cell (atomic)
+//! <dir>/cache.json      — exploration-cache snapshot (atomic)
+//! ```
+//!
+//! Every file is written to a `.tmp` sibling and renamed into place, so
+//! a checkpoint directory is consistent at all times: killing the
+//! process mid-write loses at most the cell being written, never a
+//! completed one. Cell files round-trip the *full* [`CheckReport`] —
+//! verdicts, replay-validated counterexamples, and every
+//! [`QueryStats`] field — so a resumed run reports completed cells
+//! byte-identically to the uninterrupted run.
+//!
+//! Numbers that may exceed 2^53 (the automaton fingerprint, the master
+//! seed) are stored as decimal strings; `f64` fields use Rust's
+//! shortest round-tripping `Display`, never the bench emitter's
+//! 3-decimal rounding.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use holistic_checker::{
+    CeStep, CheckReport, Counterexample, ExplorationSnapshot, QueryReport, QueryStats, Strategy,
+    Verdict,
+};
+use holistic_core::json::{escape, Json};
+use holistic_lia::SolverStats;
+use holistic_ta::{Config, RuleId};
+
+use crate::failure::{FailureKind, Rung};
+
+/// The on-disk format version; bumped on any incompatible change.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Errors from opening or reading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A file failed to parse or had an unexpected shape.
+    Malformed(String),
+    /// The manifest's version or cell list does not match this run.
+    Incompatible(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            CheckpointError::Incompatible(m) => write!(f, "incompatible checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+/// The checkpoint manifest: what run this directory belongs to.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Manifest {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u64,
+    /// Human label of the run (e.g. `table2`).
+    pub label: String,
+    /// The run's master seed (retries and the simulation rung derive
+    /// their RNG streams from it, so a resumed run replays them).
+    pub master_seed: u64,
+    /// Cell ids of the full matrix, in job order.
+    pub cells: Vec<String>,
+}
+
+/// One completed cell, exactly as it will be reported.
+#[derive(Clone, Debug)]
+pub struct CellRecord {
+    /// The cell's stable id (also its file name, sanitized).
+    pub id: String,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u64,
+    /// The ladder rung that produced the verdict.
+    pub rung: Rung,
+    /// Why full verification failed, for non-definite verdicts.
+    pub failure: Option<FailureKind>,
+    /// Free-form degradation detail (e.g. the simulation outcome).
+    pub note: Option<String>,
+    /// The full per-query report.
+    pub report: CheckReport,
+}
+
+/// A handle to a checkpoint directory.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    dir: PathBuf,
+}
+
+impl Checkpoint {
+    /// Creates (or re-manifests) a checkpoint directory for a run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(
+        dir: &Path,
+        label: &str,
+        master_seed: u64,
+        cells: &[String],
+    ) -> Result<Checkpoint, CheckpointError> {
+        fs::create_dir_all(dir.join("cells"))?;
+        let cp = Checkpoint {
+            dir: dir.to_path_buf(),
+        };
+        let mut body = String::new();
+        let _ = write!(
+            body,
+            "{{\n  \"version\": {CHECKPOINT_VERSION},\n  \"label\": \"{}\",\n  \
+             \"master_seed\": \"{master_seed}\",\n  \"cells\": [",
+            escape(label)
+        );
+        for (i, id) in cells.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(body, "{sep}\n    \"{}\"", escape(id));
+        }
+        body.push_str("\n  ]\n}\n");
+        cp.write_atomic(&cp.dir.join("manifest.json"), &body)?;
+        Ok(cp)
+    }
+
+    /// Opens an existing checkpoint and returns its manifest.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory has no parsable manifest or the version
+    /// is from a different format generation.
+    pub fn open(dir: &Path) -> Result<(Checkpoint, Manifest), CheckpointError> {
+        let raw = fs::read_to_string(dir.join("manifest.json"))?;
+        let json = Json::parse(&raw).map_err(CheckpointError::Malformed)?;
+        let version = get_u64_number(&json, "version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Incompatible(format!(
+                "checkpoint version {version}, this binary writes {CHECKPOINT_VERSION}"
+            )));
+        }
+        let manifest = Manifest {
+            version,
+            label: get_str(&json, "label")?.to_owned(),
+            master_seed: get_u64_string(&json, "master_seed")?,
+            cells: json
+                .get("cells")
+                .and_then(Json::as_array)
+                .ok_or_else(|| CheckpointError::Malformed("manifest cells".into()))?
+                .iter()
+                .map(|c| {
+                    c.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| CheckpointError::Malformed("cell id".into()))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        Ok((
+            Checkpoint {
+                dir: dir.to_path_buf(),
+            },
+            manifest,
+        ))
+    }
+
+    /// The directory this checkpoint lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Atomically records a completed cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn record_cell(&self, record: &CellRecord) -> Result<(), CheckpointError> {
+        let path = self.dir.join("cells").join(cell_file_name(&record.id));
+        self.write_atomic(&path, &cell_to_json(record))
+    }
+
+    /// Loads every completed cell present in the checkpoint. Unparsable
+    /// cell files are reported as errors (a corrupt checkpoint should
+    /// not silently rerun work).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and malformed cell files.
+    pub fn load_cells(&self) -> Result<Vec<CellRecord>, CheckpointError> {
+        let mut out = Vec::new();
+        let dir = self.dir.join("cells");
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let raw = fs::read_to_string(&path)?;
+            let json = Json::parse(&raw)
+                .map_err(|e| CheckpointError::Malformed(format!("{}: {e}", path.display())))?;
+            out.push(cell_from_json(&json)?);
+        }
+        Ok(out)
+    }
+
+    /// Atomically saves an exploration-cache snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_cache(&self, snapshots: &[ExplorationSnapshot]) -> Result<(), CheckpointError> {
+        let mut body = String::new();
+        let _ = write!(
+            body,
+            "{{\n  \"version\": {CHECKPOINT_VERSION},\n  \"explorations\": ["
+        );
+        for (i, s) in snapshots.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                body,
+                "{sep}\n    {{\"automaton\": \"{}\", \"globally_empty\": {}, \
+                 \"initially\": \"{}\", \"copies\": {}, \"complete\": {}, \
+                 \"feasible\": {}, \"infeasible\": {}}}",
+                s.automaton,
+                usize_array(&s.globally_empty),
+                escape(&s.initially),
+                s.copies,
+                s.complete,
+                chains_array(&s.feasible),
+                chains_array(&s.infeasible),
+            );
+        }
+        body.push_str("\n  ]\n}\n");
+        self.write_atomic(&self.dir.join("cache.json"), &body)
+    }
+
+    /// Loads the exploration-cache snapshot, if one was saved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and malformed snapshots.
+    pub fn load_cache(&self) -> Result<Vec<ExplorationSnapshot>, CheckpointError> {
+        let path = self.dir.join("cache.json");
+        let raw = match fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let json = Json::parse(&raw).map_err(CheckpointError::Malformed)?;
+        let mut out = Vec::new();
+        for e in json
+            .get("explorations")
+            .and_then(Json::as_array)
+            .ok_or_else(|| CheckpointError::Malformed("cache explorations".into()))?
+        {
+            out.push(ExplorationSnapshot {
+                automaton: get_u64_string(e, "automaton")?,
+                globally_empty: get_usize_array(e, "globally_empty")?,
+                initially: get_str(e, "initially")?.to_owned(),
+                copies: get_u64_number(e, "copies")? as usize,
+                complete: get_bool(e, "complete")?,
+                feasible: get_chains(e, "feasible")?,
+                infeasible: get_chains(e, "infeasible")?,
+            });
+        }
+        Ok(out)
+    }
+
+    fn write_atomic(&self, path: &Path, body: &str) -> Result<(), CheckpointError> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, body)?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+/// Sanitizes a cell id into a file name: alphanumerics, `-`, `.` and
+/// `_` pass through; everything else becomes `_`.
+fn cell_file_name(id: &str) -> String {
+    let sanitized: String = id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{sanitized}.json")
+}
+
+// ---------------------------------------------------------------- emit
+
+/// Exact JSON rendering of an `f64` (shortest round-trip `Display`);
+/// non-finite values — which no stats field produces — degrade to 0.
+fn f64_exact(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+fn usize_array(xs: &[usize]) -> String {
+    let items: Vec<String> = xs.iter().map(usize::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn i64_array(xs: &[i64]) -> String {
+    let items: Vec<String> = xs.iter().map(i64::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn u64_array(xs: &[u64]) -> String {
+    let items: Vec<String> = xs.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn chains_array(chains: &[Vec<u64>]) -> String {
+    let items: Vec<String> = chains.iter().map(|c| u64_array(c)).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn duration_json(d: Duration) -> String {
+    format!(
+        "{{\"secs\": {}, \"nanos\": {}}}",
+        d.as_secs(),
+        d.subsec_nanos()
+    )
+}
+
+fn config_json(c: &Config) -> String {
+    format!(
+        "{{\"counters\": {}, \"shared\": {}}}",
+        i64_array(&c.counters),
+        i64_array(&c.shared)
+    )
+}
+
+fn verdict_json(v: &Verdict) -> String {
+    match v {
+        Verdict::Verified => "{\"kind\": \"verified\"}".to_owned(),
+        Verdict::Unknown(msg) => {
+            format!("{{\"kind\": \"unknown\", \"reason\": \"{}\"}}", escape(msg))
+        }
+        Verdict::Violated(ce) => {
+            let steps: Vec<String> = ce
+                .steps
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"segment\": {}, \"rule\": {}, \"times\": {}}}",
+                        s.segment, s.rule.0, s.times
+                    )
+                })
+                .collect();
+            let boundaries: Vec<String> = ce.boundaries.iter().map(config_json).collect();
+            format!(
+                "{{\"kind\": \"violated\", \"counterexample\": {{\"params\": {}, \
+                 \"initial\": {}, \"steps\": [{}], \"boundaries\": [{}]}}}}",
+                i64_array(&ce.params),
+                config_json(&ce.initial),
+                steps.join(","),
+                boundaries.join(",")
+            )
+        }
+    }
+}
+
+fn stats_json(s: &QueryStats) -> String {
+    format!(
+        "{{\"schemas\": {}, \"avg_segments\": {}, \"duration\": {}, \"capped\": {}, \
+         \"timed_out\": {}, \"strategy\": \"{}\", \"cache_hits\": {}, \"cache_misses\": {}, \
+         \"replayed\": {}, \"threads\": {}, \"solver\": {{\"checks\": {}, \
+         \"branch_nodes\": {}, \"case_splits\": {}, \"pivots\": {}, \"intern_hits\": {}, \
+         \"intern_misses\": {}}}}}",
+        s.schemas,
+        f64_exact(s.avg_segments),
+        duration_json(s.duration),
+        s.capped,
+        s.timed_out,
+        s.strategy,
+        s.cache_hits,
+        s.cache_misses,
+        s.replayed,
+        s.threads,
+        s.solver.checks,
+        s.solver.branch_nodes,
+        s.solver.case_splits,
+        s.solver.pivots,
+        s.solver.intern_hits,
+        s.solver.intern_misses,
+    )
+}
+
+fn cell_to_json(r: &CellRecord) -> String {
+    let queries: Vec<String> = r
+        .report
+        .queries
+        .iter()
+        .map(|q| {
+            format!(
+                "    {{\"verdict\": {}, \"stats\": {}}}",
+                verdict_json(&q.verdict),
+                stats_json(&q.stats)
+            )
+        })
+        .collect();
+    let failure = match r.failure {
+        Some(k) => format!("\"{k}\""),
+        None => "null".to_owned(),
+    };
+    let note = match &r.note {
+        Some(n) => format!("\"{}\"", escape(n)),
+        None => "null".to_owned(),
+    };
+    format!(
+        "{{\n  \"version\": {CHECKPOINT_VERSION},\n  \"id\": \"{}\",\n  \"attempts\": {},\n  \
+         \"rung\": \"{}\",\n  \"failure\": {failure},\n  \"note\": {note},\n  \
+         \"duration\": {},\n  \"queries\": [\n{}\n  ]\n}}\n",
+        escape(&r.id),
+        r.attempts,
+        r.rung,
+        duration_json(r.report.duration),
+        queries.join(",\n")
+    )
+}
+
+// --------------------------------------------------------------- parse
+
+fn malformed(what: &str) -> CheckpointError {
+    CheckpointError::Malformed(what.to_owned())
+}
+
+fn get_str<'a>(j: &'a Json, key: &str) -> Result<&'a str, CheckpointError> {
+    j.get(key).and_then(Json::as_str).ok_or(malformed(key))
+}
+
+fn get_bool(j: &Json, key: &str) -> Result<bool, CheckpointError> {
+    match j.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(malformed(key)),
+    }
+}
+
+fn get_f64(j: &Json, key: &str) -> Result<f64, CheckpointError> {
+    j.get(key).and_then(Json::as_f64).ok_or(malformed(key))
+}
+
+/// A u64 stored as a JSON number (safe only below 2^53).
+fn get_u64_number(j: &Json, key: &str) -> Result<u64, CheckpointError> {
+    let x = get_f64(j, key)?;
+    if x >= 0.0 && x.fract() == 0.0 {
+        Ok(x as u64)
+    } else {
+        Err(malformed(key))
+    }
+}
+
+/// A u64 stored as a decimal string (full 64-bit range).
+fn get_u64_string(j: &Json, key: &str) -> Result<u64, CheckpointError> {
+    get_str(j, key)?.parse().map_err(|_| malformed(key))
+}
+
+fn get_duration(j: &Json, key: &str) -> Result<Duration, CheckpointError> {
+    let d = j.get(key).ok_or(malformed(key))?;
+    Ok(Duration::new(
+        get_u64_number(d, "secs")?,
+        get_u64_number(d, "nanos")? as u32,
+    ))
+}
+
+fn get_usize_array(j: &Json, key: &str) -> Result<Vec<usize>, CheckpointError> {
+    j.get(key)
+        .and_then(Json::as_array)
+        .ok_or(malformed(key))?
+        .iter()
+        .map(|x| match x.as_f64() {
+            Some(v) if v >= 0.0 && v.fract() == 0.0 => Ok(v as usize),
+            _ => Err(malformed(key)),
+        })
+        .collect()
+}
+
+fn get_i64_array(j: &Json, key: &str) -> Result<Vec<i64>, CheckpointError> {
+    j.get(key)
+        .and_then(Json::as_array)
+        .ok_or(malformed(key))?
+        .iter()
+        .map(|x| match x.as_f64() {
+            Some(v) if v.fract() == 0.0 => Ok(v as i64),
+            _ => Err(malformed(key)),
+        })
+        .collect()
+}
+
+fn get_chains(j: &Json, key: &str) -> Result<Vec<Vec<u64>>, CheckpointError> {
+    j.get(key)
+        .and_then(Json::as_array)
+        .ok_or(malformed(key))?
+        .iter()
+        .map(|chain| {
+            chain
+                .as_array()
+                .ok_or(malformed(key))?
+                .iter()
+                .map(|x| match x.as_f64() {
+                    Some(v) if v >= 0.0 && v.fract() == 0.0 => Ok(v as u64),
+                    _ => Err(malformed(key)),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn config_from(j: &Json) -> Result<Config, CheckpointError> {
+    Ok(Config {
+        counters: get_i64_array(j, "counters")?,
+        shared: get_i64_array(j, "shared")?,
+    })
+}
+
+fn verdict_from(j: &Json) -> Result<Verdict, CheckpointError> {
+    match get_str(j, "kind")? {
+        "verified" => Ok(Verdict::Verified),
+        "unknown" => Ok(Verdict::Unknown(get_str(j, "reason")?.to_owned())),
+        "violated" => {
+            let ce = j.get("counterexample").ok_or(malformed("counterexample"))?;
+            let steps = ce
+                .get("steps")
+                .and_then(Json::as_array)
+                .ok_or(malformed("steps"))?
+                .iter()
+                .map(|s| {
+                    Ok(CeStep {
+                        segment: get_u64_number(s, "segment")? as usize,
+                        rule: RuleId(get_u64_number(s, "rule")? as usize),
+                        times: get_u64_number(s, "times")?,
+                    })
+                })
+                .collect::<Result<_, CheckpointError>>()?;
+            let boundaries = ce
+                .get("boundaries")
+                .and_then(Json::as_array)
+                .ok_or(malformed("boundaries"))?
+                .iter()
+                .map(config_from)
+                .collect::<Result<_, _>>()?;
+            Ok(Verdict::Violated(Box::new(Counterexample {
+                params: get_i64_array(ce, "params")?,
+                initial: config_from(ce.get("initial").ok_or(malformed("initial"))?)?,
+                steps,
+                boundaries,
+            })))
+        }
+        other => Err(CheckpointError::Malformed(format!(
+            "unknown verdict kind {other:?}"
+        ))),
+    }
+}
+
+fn strategy_from(s: &str) -> Result<Strategy, CheckpointError> {
+    match s {
+        "auto" => Ok(Strategy::Auto),
+        "enumerate" => Ok(Strategy::Enumerate),
+        "monolithic" => Ok(Strategy::Monolithic),
+        other => Err(CheckpointError::Malformed(format!(
+            "unknown strategy {other:?}"
+        ))),
+    }
+}
+
+fn stats_from(j: &Json) -> Result<QueryStats, CheckpointError> {
+    let solver = j.get("solver").ok_or(malformed("solver"))?;
+    Ok(QueryStats {
+        schemas: get_u64_number(j, "schemas")? as usize,
+        avg_segments: get_f64(j, "avg_segments")?,
+        duration: get_duration(j, "duration")?,
+        capped: get_bool(j, "capped")?,
+        timed_out: get_bool(j, "timed_out")?,
+        strategy: strategy_from(get_str(j, "strategy")?)?,
+        solver: SolverStats {
+            checks: get_u64_number(solver, "checks")?,
+            branch_nodes: get_u64_number(solver, "branch_nodes")?,
+            case_splits: get_u64_number(solver, "case_splits")?,
+            pivots: get_u64_number(solver, "pivots")?,
+            intern_hits: get_u64_number(solver, "intern_hits")?,
+            intern_misses: get_u64_number(solver, "intern_misses")?,
+        },
+        cache_hits: get_u64_number(j, "cache_hits")?,
+        cache_misses: get_u64_number(j, "cache_misses")?,
+        replayed: get_bool(j, "replayed")?,
+        threads: get_u64_number(j, "threads")? as usize,
+    })
+}
+
+fn cell_from_json(j: &Json) -> Result<CellRecord, CheckpointError> {
+    let version = get_u64_number(j, "version")?;
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::Incompatible(format!(
+            "cell version {version}"
+        )));
+    }
+    let failure = match j.get("failure") {
+        Some(Json::Null) | None => None,
+        Some(Json::Str(s)) => Some(
+            FailureKind::parse(s)
+                .ok_or_else(|| CheckpointError::Malformed(format!("failure kind {s:?}")))?,
+        ),
+        _ => return Err(malformed("failure")),
+    };
+    let note = match j.get("note") {
+        Some(Json::Null) | None => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        _ => return Err(malformed("note")),
+    };
+    let queries = j
+        .get("queries")
+        .and_then(Json::as_array)
+        .ok_or(malformed("queries"))?
+        .iter()
+        .map(|q| {
+            Ok(QueryReport {
+                verdict: verdict_from(q.get("verdict").ok_or(malformed("verdict"))?)?,
+                stats: stats_from(q.get("stats").ok_or(malformed("stats"))?)?,
+            })
+        })
+        .collect::<Result<_, CheckpointError>>()?;
+    Ok(CellRecord {
+        id: get_str(j, "id")?.to_owned(),
+        attempts: get_u64_number(j, "attempts")?,
+        rung: Rung::parse(get_str(j, "rung")?).ok_or(malformed("rung"))?,
+        failure,
+        note,
+        report: CheckReport {
+            queries,
+            duration: get_duration(j, "duration")?,
+        },
+    })
+}
+
+/// Whether two cell reports are equivalent for resume purposes: equal
+/// verdicts (including full counterexamples) and equal stats in every
+/// field except wall-clock durations.
+pub fn reports_equivalent(a: &CheckReport, b: &CheckReport) -> bool {
+    a.queries.len() == b.queries.len()
+        && a.queries.iter().zip(&b.queries).all(|(x, y)| {
+            format!("{:?}", x.verdict) == format!("{:?}", y.verdict)
+                && stats_equivalent(&x.stats, &y.stats)
+        })
+}
+
+/// [`QueryStats`] equality modulo the `duration` field.
+pub fn stats_equivalent(a: &QueryStats, b: &QueryStats) -> bool {
+    a.schemas == b.schemas
+        && a.avg_segments == b.avg_segments
+        && a.capped == b.capped
+        && a.timed_out == b.timed_out
+        && a.strategy == b.strategy
+        && a.solver == b.solver
+        && a.cache_hits == b.cache_hits
+        && a.cache_misses == b.cache_misses
+        && a.replayed == b.replayed
+        && a.threads == b.threads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(id: &str) -> CellRecord {
+        let ce = Counterexample {
+            params: vec![4, 1, 1],
+            initial: Config {
+                counters: vec![3, 0, 0],
+                shared: vec![0],
+            },
+            steps: vec![CeStep {
+                segment: 0,
+                rule: RuleId(2),
+                times: 3,
+            }],
+            boundaries: vec![
+                Config {
+                    counters: vec![3, 0, 0],
+                    shared: vec![0],
+                },
+                Config {
+                    counters: vec![0, 3, 0],
+                    shared: vec![1],
+                },
+            ],
+        };
+        CellRecord {
+            id: id.to_owned(),
+            attempts: 2,
+            rung: Rung::DepthBounded,
+            failure: Some(FailureKind::TimeBudget),
+            note: Some("stepped down after \"timeout\"".to_owned()),
+            report: CheckReport {
+                queries: vec![
+                    QueryReport {
+                        verdict: Verdict::Violated(Box::new(ce)),
+                        stats: QueryStats {
+                            schemas: 7,
+                            avg_segments: 13.0 / 3.0,
+                            duration: Duration::from_millis(123),
+                            capped: false,
+                            timed_out: true,
+                            strategy: Strategy::Enumerate,
+                            solver: SolverStats {
+                                checks: 11,
+                                branch_nodes: 5,
+                                case_splits: 2,
+                                pivots: 999,
+                                intern_hits: 1,
+                                intern_misses: 4,
+                            },
+                            cache_hits: 3,
+                            cache_misses: 4,
+                            replayed: false,
+                            threads: 1,
+                        },
+                    },
+                    QueryReport {
+                        verdict: Verdict::Unknown("worker panic: boom".to_owned()),
+                        stats: QueryStats {
+                            schemas: 0,
+                            avg_segments: 0.1 + 0.2, // deliberately inexact
+                            duration: Duration::ZERO,
+                            capped: true,
+                            timed_out: false,
+                            strategy: Strategy::Auto,
+                            solver: SolverStats::default(),
+                            cache_hits: 0,
+                            cache_misses: 0,
+                            replayed: true,
+                            threads: 8,
+                        },
+                    },
+                ],
+                duration: Duration::new(1, 999_999_999),
+            },
+        }
+    }
+
+    #[test]
+    fn cell_record_round_trips_byte_identically() {
+        let rec = sample_record("bv/BV-Just0");
+        let json = cell_to_json(&rec);
+        let back = cell_from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.id, rec.id);
+        assert_eq!(back.attempts, rec.attempts);
+        assert_eq!(back.rung, rec.rung);
+        assert_eq!(back.failure, rec.failure);
+        assert_eq!(back.note, rec.note);
+        assert_eq!(back.report.duration, rec.report.duration);
+        assert!(reports_equivalent(&back.report, &rec.report));
+        // Durations must round-trip exactly too (nanosecond fields).
+        for (a, b) in back.report.queries.iter().zip(&rec.report.queries) {
+            assert_eq!(a.stats.duration, b.stats.duration);
+            // Bitwise f64 equality, not approximate.
+            assert_eq!(
+                a.stats.avg_segments.to_bits(),
+                b.stats.avg_segments.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_files_survive_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "holistic-cp-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let cells = vec!["a/one".to_owned(), "a/two".to_owned()];
+        let cp = Checkpoint::create(&dir, "unit", u64::MAX - 7, &cells).unwrap();
+        cp.record_cell(&sample_record("a/one")).unwrap();
+        let snapshots = vec![ExplorationSnapshot {
+            automaton: u64::MAX - 1, // exceeds 2^53: must survive as a string
+            globally_empty: vec![1, 4],
+            initially: "True".to_owned(),
+            copies: 2,
+            feasible: vec![vec![0], vec![0, 2]],
+            infeasible: vec![vec![1]],
+            complete: true,
+        }];
+        cp.save_cache(&snapshots).unwrap();
+
+        let (cp2, manifest) = Checkpoint::open(&dir).unwrap();
+        assert_eq!(manifest.version, CHECKPOINT_VERSION);
+        assert_eq!(manifest.label, "unit");
+        assert_eq!(manifest.master_seed, u64::MAX - 7);
+        assert_eq!(manifest.cells, cells);
+        let loaded = cp2.load_cells().unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].id, "a/one");
+        assert_eq!(cp2.load_cache().unwrap(), snapshots);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ids_sanitize_into_distinct_files() {
+        assert_eq!(cell_file_name("bv/BV-Just0"), "bv_BV-Just0.json");
+        assert_eq!(cell_file_name("a b"), "a_b.json");
+    }
+}

@@ -1,0 +1,212 @@
+//! The structured failure taxonomy and the degradation ladder rungs.
+//!
+//! Every non-`Proved` cell of a supervised matrix run carries a
+//! [`FailureKind`] saying *why* full verification did not produce a
+//! definite verdict, and a [`Rung`] saying *which level* of the
+//! graceful-degradation ladder produced the verdict that was reported.
+
+use std::fmt;
+
+use holistic_checker::{Verdict, WORKER_PANIC_PREFIX};
+
+/// Why a matrix cell failed to produce a definite verdict at full
+/// verification strength.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureKind {
+    /// A DFS or matrix worker panicked; the panic was isolated and
+    /// translated into an `Unknown` verdict.
+    WorkerPanic,
+    /// Exact rational arithmetic saturated on `i128` overflow inside
+    /// the simplex, so the solver refused to trust its tableau.
+    SolverOverflow,
+    /// The wall-clock `time_budget` (or the in-pivot deadline) ran out.
+    TimeBudget,
+    /// The process crossed the supervisor's resident-memory watermark.
+    MemoryBudget,
+    /// The schema cap bounded the exploration before it finished.
+    SchemaCap,
+    /// The solver's branch/split budget ran dry.
+    SolverBudget,
+    /// The model was rejected before exploration (outside the
+    /// supported fragment) — deterministic, never retried.
+    ModelError,
+    /// Bounded retries were exhausted without a definite verdict.
+    RetryExhausted,
+    /// An `Unknown` verdict that matched no known pattern.
+    Other,
+}
+
+impl FailureKind {
+    /// Classifies a checker verdict: `None` for definite verdicts
+    /// (`Verified` / `Violated`), the matching failure otherwise.
+    pub fn classify(verdict: &Verdict) -> Option<FailureKind> {
+        match verdict {
+            Verdict::Verified | Verdict::Violated(_) => None,
+            Verdict::Unknown(msg) => Some(FailureKind::classify_message(msg)),
+        }
+    }
+
+    /// Classifies an `Unknown` reason string by the stable message
+    /// fragments the checker and solver emit.
+    pub fn classify_message(msg: &str) -> FailureKind {
+        if msg.starts_with(WORKER_PANIC_PREFIX) {
+            FailureKind::WorkerPanic
+        } else if msg.contains("overflowed i128") {
+            FailureKind::SolverOverflow
+        } else if msg.contains("time budget") || msg.contains("deadline expired") {
+            FailureKind::TimeBudget
+        } else if msg.contains("exceeded the cap") {
+            FailureKind::SchemaCap
+        } else if msg.contains("budget exhausted") {
+            FailureKind::SolverBudget
+        } else {
+            FailureKind::Other
+        }
+    }
+
+    /// Whether a retry could plausibly change the outcome. Panics are
+    /// retried (they may be scheduling-dependent or injected);
+    /// everything else is deterministic for a fixed configuration.
+    pub fn is_transient(self) -> bool {
+        matches!(self, FailureKind::WorkerPanic)
+    }
+
+    /// The stable kebab-case name used in checkpoint files and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::WorkerPanic => "worker-panic",
+            FailureKind::SolverOverflow => "solver-overflow",
+            FailureKind::TimeBudget => "time-budget",
+            FailureKind::MemoryBudget => "memory-budget",
+            FailureKind::SchemaCap => "schema-cap",
+            FailureKind::SolverBudget => "solver-budget",
+            FailureKind::ModelError => "model-error",
+            FailureKind::RetryExhausted => "retry-exhausted",
+            FailureKind::Other => "other",
+        }
+    }
+
+    /// Parses [`as_str`](FailureKind::as_str) back.
+    pub fn parse(s: &str) -> Option<FailureKind> {
+        Some(match s {
+            "worker-panic" => FailureKind::WorkerPanic,
+            "solver-overflow" => FailureKind::SolverOverflow,
+            "time-budget" => FailureKind::TimeBudget,
+            "memory-budget" => FailureKind::MemoryBudget,
+            "schema-cap" => FailureKind::SchemaCap,
+            "solver-budget" => FailureKind::SolverBudget,
+            "model-error" => FailureKind::ModelError,
+            "retry-exhausted" => FailureKind::RetryExhausted,
+            "other" => FailureKind::Other,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which level of the graceful-degradation ladder produced a cell's
+/// reported verdict.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum Rung {
+    /// Full parameterized verification (the normal path).
+    #[default]
+    Full,
+    /// Depth-bounded exploration: a small schema bound that can still
+    /// find (replay-validated) violations but proves nothing beyond
+    /// the bound unless the lattice happens to fit inside it.
+    DepthBounded,
+    /// Seeded simulation-based falsification: adversarial concrete
+    /// runs that can refute but never prove.
+    Simulation,
+}
+
+impl Rung {
+    /// The stable kebab-case name used in checkpoint files and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rung::Full => "full",
+            Rung::DepthBounded => "depth-bounded",
+            Rung::Simulation => "simulation",
+        }
+    }
+
+    /// Parses [`as_str`](Rung::as_str) back.
+    pub fn parse(s: &str) -> Option<Rung> {
+        Some(match s {
+            "full" => Rung::Full,
+            "depth-bounded" => Rung::DepthBounded,
+            "simulation" => Rung::Simulation,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_checker_messages() {
+        let cases = [
+            ("worker panic: boom", FailureKind::WorkerPanic),
+            (
+                "rational arithmetic overflowed i128",
+                FailureKind::SolverOverflow,
+            ),
+            (
+                "time budget of 1s exhausted after 3 schemas",
+                FailureKind::TimeBudget,
+            ),
+            (
+                "wall-clock deadline expired mid-check",
+                FailureKind::TimeBudget,
+            ),
+            (
+                "schedule DFS exceeded the cap of 100 schemas",
+                FailureKind::SchemaCap,
+            ),
+            (
+                "branch-and-bound node budget exhausted",
+                FailureKind::SolverBudget,
+            ),
+            ("mystery", FailureKind::Other),
+        ];
+        for (msg, kind) in cases {
+            assert_eq!(FailureKind::classify_message(msg), kind, "{msg}");
+        }
+        assert_eq!(FailureKind::classify(&Verdict::Verified), None);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in [
+            FailureKind::WorkerPanic,
+            FailureKind::SolverOverflow,
+            FailureKind::TimeBudget,
+            FailureKind::MemoryBudget,
+            FailureKind::SchemaCap,
+            FailureKind::SolverBudget,
+            FailureKind::ModelError,
+            FailureKind::RetryExhausted,
+            FailureKind::Other,
+        ] {
+            assert_eq!(FailureKind::parse(kind.as_str()), Some(kind));
+        }
+        for rung in [Rung::Full, Rung::DepthBounded, Rung::Simulation] {
+            assert_eq!(Rung::parse(rung.as_str()), Some(rung));
+        }
+        assert_eq!(FailureKind::parse("nope"), None);
+        assert_eq!(Rung::parse("nope"), None);
+    }
+}

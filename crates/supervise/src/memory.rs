@@ -1,0 +1,24 @@
+//! Resident-memory probing for the supervisor's memory watermark.
+
+/// The current resident set size in KiB, read from `/proc/self/statm`.
+/// `None` on platforms without procfs (the memory watermark is then
+/// simply never triggered).
+pub fn rss_kb() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    // Page size is 4 KiB on every platform this repo targets; statm
+    // reports pages, not bytes.
+    Some(resident_pages * 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_is_positive_on_linux() {
+        if std::path::Path::new("/proc/self/statm").exists() {
+            assert!(rss_kb().unwrap() > 0);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Human- and machine-readable rendering of supervised matrix runs.
+
+use std::fmt::Write as _;
+
+use holistic_checker::Verdict;
+use holistic_core::json::escape;
+
+use crate::supervisor::MatrixRunReport;
+
+/// The short verdict word used in both renderings.
+fn verdict_word(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Verified => "verified",
+        Verdict::Violated(_) => "violated",
+        Verdict::Unknown(_) => "unknown",
+    }
+}
+
+/// Renders the run as an aligned text table.
+pub fn render(report: &MatrixRunReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:<10} {:<14} {:<16} {:>8} {:>8}",
+        "cell", "verdict", "rung", "failure", "attempts", "resumed"
+    );
+    for cell in &report.cells {
+        let r = &cell.record;
+        let _ = writeln!(
+            out,
+            "{:<32} {:<10} {:<14} {:<16} {:>8} {:>8}",
+            r.id,
+            verdict_word(&r.report.verdict()),
+            r.rung.as_str(),
+            r.failure.map_or("-", |f| f.as_str()),
+            r.attempts,
+            if cell.resumed { "yes" } else { "no" },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} cells ({} resumed) in {:.2?}; checkpoint overhead {:.2?}",
+        report.cells.len(),
+        report.resumed_cells(),
+        report.duration,
+        report.checkpoint_overhead,
+    );
+    out
+}
+
+/// Renders the run as a JSON document (schema version 1).
+pub fn to_json(label: &str, report: &MatrixRunReport) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"schema_version\": 1,\n  \"label\": \"{}\",\n  \
+         \"duration_secs\": {:.6},\n  \"checkpoint_overhead_secs\": {:.6},\n  \
+         \"resumed_cells\": {},\n  \"cells\": [",
+        escape(label),
+        report.duration.as_secs_f64(),
+        report.checkpoint_overhead.as_secs_f64(),
+        report.resumed_cells(),
+    );
+    for (i, cell) in report.cells.iter().enumerate() {
+        let r = &cell.record;
+        let sep = if i == 0 { "" } else { "," };
+        let failure = r.failure.map_or("null".to_owned(), |f| format!("\"{f}\""));
+        let note = r
+            .note
+            .as_deref()
+            .map_or("null".to_owned(), |n| format!("\"{}\"", escape(n)));
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"id\": \"{}\", \"verdict\": \"{}\", \"rung\": \"{}\", \
+             \"failure\": {failure}, \"attempts\": {}, \"resumed\": {}, \"note\": {note}}}",
+            escape(&r.id),
+            verdict_word(&r.report.verdict()),
+            r.rung,
+            r.attempts,
+            cell.resumed,
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}

@@ -1,0 +1,307 @@
+//! Robustness regression tests for the resilient matrix supervisor:
+//! worker isolation under injected panics, bounded time-budget
+//! overshoot inside the solver hot loop, checkpoint/resume equivalence
+//! with an uninterrupted run, and the graceful-degradation ladder.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use holistic_checker::{
+    ChaosConfig, Checker, CheckerConfig, MatrixJob, Strategy, Verdict, WORKER_PANIC_PREFIX,
+};
+use holistic_models::{BvBroadcastModel, NaiveConsensusModel};
+use holistic_supervise::{
+    reports_equivalent, Checkpoint, FailureKind, Rung, SupervisedJob, Supervisor, SupervisorConfig,
+};
+
+/// A scratch checkpoint directory unique to this process and tag,
+/// wiped before use so reruns start clean.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("holistic-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Satellite regression: a panic inside a work-stealing DFS worker must
+/// degrade that cell to `Unknown("worker panic: ...")` instead of
+/// aborting the whole `check_matrix` run. The chaos hook panics at the
+/// exact point a buggy guard evaluation would strike (right before a
+/// prefix's feasibility is resolved), on every feasibility decision, so
+/// every cell of the matrix trips it — and every cell must still come
+/// back classified.
+#[test]
+fn injected_worker_panic_degrades_cell_not_the_matrix() {
+    let model = BvBroadcastModel::new();
+    let justice = model.justice();
+    let specs = model.table2_specs();
+    let jobs: Vec<MatrixJob<'_>> = specs
+        .iter()
+        .map(|(_, spec)| MatrixJob {
+            ta: &model.ta,
+            spec,
+            justice: &justice,
+        })
+        .collect();
+    let checker = Checker::with_config(CheckerConfig {
+        chaos: ChaosConfig { panic_every: 1 },
+        threads: Some(2),
+        ..CheckerConfig::default()
+    });
+    // The run must complete (no process abort) with one report per job.
+    let reports = checker.check_matrix(&jobs, 2);
+    assert_eq!(reports.len(), jobs.len(), "one report per cell, in order");
+    for ((name, _), report) in specs.iter().zip(reports) {
+        let report = report.expect("in fragment");
+        match report.verdict() {
+            Verdict::Unknown(reason) => assert!(
+                reason.contains(WORKER_PANIC_PREFIX),
+                "{name}: expected the canonical worker-panic marker, got {reason:?}"
+            ),
+            other => panic!("{name}: expected Unknown after injected panic, got {other:?}"),
+        }
+    }
+}
+
+/// The uninjected matrix, run through the same per-cell isolation
+/// wrapper, must be untouched: chaos off means every bv cell verifies
+/// exactly as before.
+#[test]
+fn isolation_wrapper_is_transparent_without_chaos() {
+    let model = BvBroadcastModel::new();
+    let justice = model.justice();
+    let specs = model.table2_specs();
+    let jobs: Vec<MatrixJob<'_>> = specs
+        .iter()
+        .map(|(_, spec)| MatrixJob {
+            ta: &model.ta,
+            spec,
+            justice: &justice,
+        })
+        .collect();
+    let checker = Checker::with_config(CheckerConfig {
+        threads: Some(1),
+        strategy: Strategy::Enumerate,
+        ..CheckerConfig::default()
+    });
+    for ((name, _), report) in specs.iter().zip(checker.check_matrix(&jobs, 1)) {
+        let report = report.expect("in fragment");
+        assert!(
+            report.verdict().is_verified(),
+            "{name}: bv-broadcast property must verify with chaos off"
+        );
+    }
+}
+
+/// Satellite regression: the wall-clock budget is polled inside the
+/// simplex pivot loop (every `DEADLINE_STRIDE` pivots), not just at
+/// coarse DFS boundaries — so even on the naive automaton, whose
+/// queries blow through any practical schema cap, a run with budget `B`
+/// must come back `Unknown` in well under `2 * B`.
+#[test]
+fn time_budget_overshoot_is_bounded() {
+    let model = NaiveConsensusModel::new();
+    let justice = model.justice();
+    let (name, spec) = &model.table2_specs()[0];
+    let budget = Duration::from_millis(400);
+    let checker = Checker::with_config(CheckerConfig {
+        time_budget: Some(budget),
+        threads: Some(1),
+        ..CheckerConfig::default()
+    });
+    let start = Instant::now();
+    let report = checker
+        .check_ltl(&model.ta, spec, &justice)
+        .expect("in fragment");
+    let elapsed = start.elapsed();
+    assert!(
+        matches!(report.verdict(), Verdict::Unknown(_)),
+        "{name}: the naive automaton cannot finish within {budget:?}"
+    );
+    assert!(
+        elapsed < budget * 2,
+        "{name}: budget {budget:?} overshot to {elapsed:?} (>= 2x)"
+    );
+}
+
+/// Builds the bv-broadcast Table-2 matrix as supervised jobs.
+fn bv_jobs<'a>(
+    model: &'a BvBroadcastModel,
+    specs: &'a [(&'static str, holistic_ltl::Ltl)],
+    justice: &'a holistic_ltl::Justice,
+) -> Vec<SupervisedJob<'a>> {
+    specs
+        .iter()
+        .map(|(name, spec)| SupervisedJob {
+            id: format!("bv/{name}"),
+            property: (*name).to_owned(),
+            ta: &model.ta,
+            spec,
+            justice,
+        })
+        .collect()
+}
+
+/// Deterministic supervisor configuration (sequential cells, sequential
+/// DFS) so the interrupted and uninterrupted runs are byte-comparable.
+fn deterministic_config() -> SupervisorConfig {
+    SupervisorConfig {
+        checker: CheckerConfig {
+            threads: Some(1),
+            strategy: Strategy::Enumerate,
+            ..CheckerConfig::default()
+        },
+        workers: 1,
+        ..SupervisorConfig::default()
+    }
+}
+
+/// Tentpole acceptance: killing a matrix run midway loses no completed
+/// cells, and the resumed run is *observably identical* — verdicts,
+/// counterexamples, and every `QueryStats` counter except wall time —
+/// to a run that was never interrupted.
+#[test]
+fn checkpoint_resume_matches_uninterrupted_run() {
+    let model = BvBroadcastModel::new();
+    let justice = model.justice();
+    let specs = model.table2_specs();
+    let jobs = bv_jobs(&model, &specs, &justice);
+    let ids: Vec<String> = jobs.iter().map(|j| j.id.clone()).collect();
+
+    // Reference: one uninterrupted supervised run, no checkpoint.
+    let reference = Supervisor::new(deterministic_config())
+        .run(&jobs, None)
+        .expect("reference run");
+
+    // "Crash" after the first two cells: run a prefix of the job list
+    // against a checkpoint manifested for the full matrix, then drop
+    // every in-process structure on the floor.
+    let dir = scratch_dir("resume-equiv");
+    {
+        let checkpoint = Checkpoint::create(&dir, "test", 0, &ids).expect("create checkpoint");
+        let partial = Supervisor::new(deterministic_config())
+            .run(&jobs[..2], Some(&checkpoint))
+            .expect("partial run");
+        assert_eq!(
+            partial.resumed_cells(),
+            0,
+            "fresh checkpoint resumes nothing"
+        );
+        assert_eq!(partial.cells.len(), 2);
+    }
+
+    // Resume from disk only: the two completed cells must be loaded,
+    // the rest verified live, and the whole row must match the
+    // uninterrupted reference byte-for-byte (modulo wall time).
+    let (checkpoint, manifest) = Checkpoint::open(&dir).expect("reopen checkpoint");
+    assert_eq!(manifest.cells, ids, "manifest records the full matrix");
+    let resumed = Supervisor::new(deterministic_config())
+        .run(&jobs, Some(&checkpoint))
+        .expect("resumed run");
+    assert_eq!(
+        resumed.resumed_cells(),
+        2,
+        "both completed cells must be skipped on resume"
+    );
+    assert_eq!(resumed.cells.len(), reference.cells.len());
+    for (reference_cell, resumed_cell) in reference.cells.iter().zip(&resumed.cells) {
+        let a = &reference_cell.record;
+        let b = &resumed_cell.record;
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.rung, b.rung, "{}: degradation rung must match", a.id);
+        assert_eq!(a.failure, b.failure, "{}: failure kind must match", a.id);
+        assert!(
+            reports_equivalent(&a.report, &b.report),
+            "{}: resumed report must be observably identical\n  reference: {:?}\n  resumed: {:?}",
+            a.id,
+            a.report.verdict(),
+            b.report.verdict()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The degradation ladder: a cell whose full-strength attempts are
+/// poisoned by injected panics exhausts its retries, is classified
+/// `RetryExhausted`, and steps down the ladder (chaos stays off below
+/// rung 1) instead of surfacing a bare panic string.
+#[test]
+fn chaos_poisoned_cell_walks_the_ladder() {
+    let model = BvBroadcastModel::new();
+    let justice = model.justice();
+    let specs = model.table2_specs();
+    let jobs = bv_jobs(&model, &specs[..1], &justice);
+    let mut config = deterministic_config();
+    config.checker.chaos = ChaosConfig { panic_every: 1 };
+    config.max_retries = 1;
+    config.backoff_base = Duration::from_millis(1);
+    let run = Supervisor::new(config)
+        .run(&jobs, None)
+        .expect("supervised run");
+    assert!(
+        run.all_classified(),
+        "every non-Proved cell carries a failure kind"
+    );
+    let cell = &run.cells[0].record;
+    assert_eq!(
+        cell.failure,
+        Some(FailureKind::RetryExhausted),
+        "transient panics must exhaust retries, not classify as terminal"
+    );
+    assert_eq!(cell.attempts, 2, "one initial attempt plus one retry");
+    assert_ne!(cell.rung, Rung::Full, "the cell must have stepped down");
+    if cell.rung == Rung::DepthBounded {
+        assert!(
+            !matches!(cell.report.verdict(), Verdict::Unknown(_)),
+            "a depth-bounded rung is only reported when it reached a definite verdict"
+        );
+    }
+    assert!(
+        cell.note.is_some(),
+        "the rung that answered must be documented"
+    );
+}
+
+/// A terminal (non-transient) failure — the wall-clock budget on the
+/// naive automaton — must not burn retries, and must fall through the
+/// depth-bounded rung (the naive lattice blows the rung-2 schema bound
+/// too) to seeded simulation, which cannot refute the property and says
+/// so in the note while the verdict stays `Unknown`.
+#[test]
+fn time_budget_walks_to_simulation_rung() {
+    let model = NaiveConsensusModel::new();
+    let justice = model.justice();
+    let specs = model.table2_specs();
+    let jobs: Vec<SupervisedJob<'_>> = specs[..1]
+        .iter()
+        .map(|(name, spec)| SupervisedJob {
+            id: format!("naive/{name}"),
+            property: (*name).to_owned(),
+            ta: &model.ta,
+            spec,
+            justice: &justice,
+        })
+        .collect();
+    let mut config = deterministic_config();
+    config.checker.time_budget = Some(Duration::from_millis(150));
+    config.ladder.depth_budget = Some(Duration::from_millis(500));
+    let run = Supervisor::new(config)
+        .run(&jobs, None)
+        .expect("supervised run");
+    let cell = &run.cells[0].record;
+    assert_eq!(cell.failure, Some(FailureKind::TimeBudget));
+    assert_eq!(cell.attempts, 1, "a terminal failure must not be retried");
+    assert_eq!(
+        cell.rung,
+        Rung::Simulation,
+        "the naive lattice exceeds the rung-2 bound, so rung 3 answers"
+    );
+    assert!(
+        matches!(cell.report.verdict(), Verdict::Unknown(_)),
+        "simulation never upgrades an Unknown verdict"
+    );
+    let note = cell.note.as_deref().expect("rung-3 outcome is documented");
+    assert!(
+        note.contains("seeded adversarial scenarios") || note.contains("falsified"),
+        "note must state the simulation outcome, got {note:?}"
+    );
+}
