@@ -76,6 +76,10 @@ struct PropResult {
     cache_hits: u64,
     cache_misses: u64,
     replayed: bool,
+    /// Core patterns newly learned while this property explored.
+    cores_learned: u64,
+    /// Extension attempts pruned by learned core patterns.
+    schemas_pruned_by_core: u64,
     threads: usize,
     solver: holistic_lia::SolverStats,
 }
@@ -135,6 +139,7 @@ fn run_matrix(
     threads: Option<usize>,
     filter: &Filter,
     supervise: Option<&SuperviseOpts>,
+    explain: bool,
 ) -> (Vec<(&'static str, String, CheckReport)>, Duration) {
     let workers = threads.unwrap_or(1);
     let mut config = CheckerConfig {
@@ -184,6 +189,10 @@ fn run_matrix(
     let Some(opts) = supervise else {
         let checker = Checker::with_config(config);
         let reports = checker.check_matrix(&jobs, workers);
+        if explain {
+            explain_prunes(&checker, "bv-broadcast", &bv.ta);
+            explain_prunes(&checker, "simplified-consensus", &sc.ta);
+        }
         let rows = labels
             .into_iter()
             .zip(reports)
@@ -194,6 +203,9 @@ fn run_matrix(
             .collect();
         return (rows, Duration::ZERO);
     };
+    if explain {
+        eprintln!("  --explain-prunes: not available on supervised (checkpointed) runs");
+    }
 
     // Supervised path: per-cell isolation/retry/degradation plus the
     // on-disk checkpoint.
@@ -269,6 +281,64 @@ fn run_matrix(
     (rows, overhead)
 }
 
+/// How many learned core patterns `--explain-prunes` renders per
+/// automaton.
+const EXPLAIN_TOP: usize = 10;
+
+/// Dumps the learned core patterns for one automaton to stderr, most
+/// general first, rendered with guard formulas and the rule names each
+/// blocked guard gates — the human-readable face of the certificate
+/// pipeline.
+fn explain_prunes(checker: &Checker, label: &str, ta: &holistic_ta::ThresholdAutomaton) {
+    let mut cores = checker.exploration_cache().cores_for(ta);
+    if cores.is_empty() {
+        eprintln!("  [explain-prunes] {label}: no learned core patterns");
+        return;
+    }
+    // Most general first: fewer guards to unlock, larger context mask.
+    cores.sort_by_key(|&(m, d)| (d.count_ones(), std::cmp::Reverse(m.count_ones()), d, m));
+    let info = holistic_checker::GuardInfo::analyse(ta).expect("guard analysis");
+    let render_guard = |gi: usize| -> String {
+        let g = &info.guards[gi];
+        let gated: Vec<&str> = ta
+            .rules
+            .iter()
+            .filter(|r| info.rule_mask(r) & (1 << gi) != 0)
+            .map(|r| r.name.as_str())
+            .collect();
+        format!(
+            "g{gi}: {} {} {} (gates {})",
+            g.lhs.display(&ta.variables),
+            g.cmp,
+            g.rhs.display(&ta.params),
+            if gated.is_empty() {
+                "no rules".to_owned()
+            } else {
+                gated.join(", ")
+            }
+        )
+    };
+    let render_mask = |mask: u64| -> String {
+        if mask == 0 {
+            return "(initial: no guards unlocked)".to_owned();
+        }
+        let names: Vec<String> = (0..info.len())
+            .filter(|gi| mask & (1 << gi) != 0)
+            .map(render_guard)
+            .collect();
+        names.join("; ")
+    };
+    eprintln!(
+        "  [explain-prunes] {label}: {} learned core pattern(s), top {}:",
+        cores.len(),
+        cores.len().min(EXPLAIN_TOP)
+    );
+    for (i, &(m, d)) in cores.iter().take(EXPLAIN_TOP).enumerate() {
+        eprintln!("    #{:<2} under contexts within {}", i + 1, render_mask(m));
+        eprintln!("        cannot newly unlock {}", render_mask(d));
+    }
+}
+
 fn emit(
     results: &[PropResult],
     iters: usize,
@@ -284,6 +354,22 @@ fn emit(
     let _ = writeln!(out, "  \"threads\": {threads},");
     let _ = writeln!(out, "  \"iters\": {iters},");
     let _ = writeln!(out, "  \"total_wall_ms\": {},", num(total_ms));
+    // Farkas-certificate core pipeline: patterns learned, extension
+    // attempts they pruned, and the average extracted-core size
+    // (members per certificate, from the cumulative solver counters).
+    let cores_learned: u64 = results.iter().map(|r| r.cores_learned).sum();
+    let pruned_by_core: u64 = results.iter().map(|r| r.schemas_pruned_by_core).sum();
+    let (extracted, members): (u64, u64) = results.iter().fold((0, 0), |(e, m), r| {
+        (e + r.solver.cores_extracted, m + r.solver.core_members)
+    });
+    let core_avg_size = if extracted == 0 {
+        0.0
+    } else {
+        members as f64 / extracted as f64
+    };
+    let _ = writeln!(out, "  \"cores_learned\": {cores_learned},");
+    let _ = writeln!(out, "  \"schemas_pruned_by_core\": {pruned_by_core},");
+    let _ = writeln!(out, "  \"core_avg_size\": {},", num(core_avg_size));
     // Supervisor overhead: time spent writing checkpoint files. Null
     // when checkpointing was off, so the perf trajectory can tell "no
     // checkpointing" from "free checkpointing".
@@ -318,6 +404,12 @@ fn emit(
         let _ = writeln!(out, "      \"cache_misses\": {},", r.cache_misses);
         let _ = writeln!(out, "      \"cache_hit_rate\": {},", num(hit_rate));
         let _ = writeln!(out, "      \"replayed\": {},", r.replayed);
+        let _ = writeln!(out, "      \"cores_learned\": {},", r.cores_learned);
+        let _ = writeln!(
+            out,
+            "      \"schemas_pruned_by_core\": {},",
+            r.schemas_pruned_by_core
+        );
         out.push_str("      \"solver\": {\n");
         let s = &r.solver;
         let _ = writeln!(out, "        \"checks\": {},", s.checks);
@@ -325,7 +417,10 @@ fn emit(
         let _ = writeln!(out, "        \"case_splits\": {},", s.case_splits);
         let _ = writeln!(out, "        \"pivots\": {},", s.pivots);
         let _ = writeln!(out, "        \"intern_hits\": {},", s.intern_hits);
-        let _ = writeln!(out, "        \"intern_misses\": {}", s.intern_misses);
+        let _ = writeln!(out, "        \"intern_misses\": {},", s.intern_misses);
+        let _ = writeln!(out, "        \"cores_extracted\": {},", s.cores_extracted);
+        let _ = writeln!(out, "        \"core_members\": {},", s.core_members);
+        let _ = writeln!(out, "        \"core_micros\": {}", s.core_micros);
         out.push_str("      }\n");
         out.push_str(if i + 1 == results.len() {
             "    }\n"
@@ -438,6 +533,7 @@ fn main() -> ExitCode {
             .and_then(|i| args.get(i + 1))
     };
     let quick = args.iter().any(|a| a == "--quick");
+    let explain = args.iter().any(|a| a == "--explain-prunes");
     let mut iters: usize = flag_value("--iters")
         .and_then(|s| s.parse().ok())
         .unwrap_or(if quick { 1 } else { 3 });
@@ -488,7 +584,8 @@ fn main() -> ExitCode {
     let mut results: Vec<PropResult> = Vec::new();
     let mut supervisor_overhead = Duration::ZERO;
     for iter in 0..iters {
-        let (pass, overhead) = run_matrix(threads, &filter, supervise.as_ref());
+        let (pass, overhead) =
+            run_matrix(threads, &filter, supervise.as_ref(), explain && iter == 0);
         supervisor_overhead += overhead;
         for (idx, (automaton, property, report)) in pass.into_iter().enumerate() {
             let wall_ms = report.duration.as_secs_f64() * 1e3;
@@ -508,6 +605,8 @@ fn main() -> ExitCode {
                     cache_misses: report.total_cache_misses(),
                     replayed: report.queries.iter().all(|q| q.stats.replayed)
                         && !report.queries.is_empty(),
+                    cores_learned: report.total_cores_learned(),
+                    schemas_pruned_by_core: report.total_schemas_pruned_by_core(),
                     threads: stats_threads,
                     solver: report.solver_stats(),
                 });

@@ -1,9 +1,10 @@
 //! The parameterized model checker: public API and strategy driver.
 
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use holistic_lia::{SatResult, SolverConfig, SolverStats};
@@ -12,7 +13,9 @@ use holistic_ta::{LocationId, ThresholdAutomaton, ValidationError};
 
 use crate::counterexample::{Counterexample, ReplayError};
 use crate::encode::{Encoding, SegmentKind};
-use crate::explore::{Exploration, ExplorationCache, ExplorationKey, Pruner, Recorder};
+use crate::explore::{
+    CorePatternSet, Exploration, ExplorationCache, ExplorationKey, Pruner, Recorder,
+};
 use crate::guards::{GuardError, GuardInfo};
 
 /// How schemas are generated for the SMT backend.
@@ -96,6 +99,15 @@ pub struct CheckerConfig {
     /// subtrees. `false` restores fully independent per-property DFS
     /// (used by the equivalence tests).
     pub share_exploration: bool,
+    /// Whether infeasible prefixes are generalized into *core patterns*
+    /// via Farkas-certificate UNSAT cores (see
+    /// [`Encoding::unsat_core_pattern`]) and used to prune whole
+    /// sublattices of extension attempts, in addition to the exact
+    /// chain-verdict pruning of the exploration cache. Only active
+    /// while recording (it rides on `share_exploration`); learned
+    /// patterns persist with the recorded exploration and transfer
+    /// across properties under the usual key monotonicity.
+    pub core_pruning: bool,
     /// Fault injection for chaos testing (defaults to off).
     pub chaos: ChaosConfig,
 }
@@ -109,6 +121,7 @@ impl Default for CheckerConfig {
             strategy: Strategy::Auto,
             threads: None,
             share_exploration: true,
+            core_pruning: true,
             chaos: ChaosConfig::default(),
         }
     }
@@ -175,6 +188,13 @@ pub struct QueryStats {
     /// Whether the whole feasible frontier was replayed from the cache
     /// (no feasibility checks at all).
     pub replayed: bool,
+    /// Core patterns newly learned during this query (fresh inserts
+    /// into the shared pattern set; re-derivations of known patterns
+    /// don't count).
+    pub cores_learned: u64,
+    /// Extension attempts pruned because a learned core pattern
+    /// subsumed them (a subset of `cache_hits`).
+    pub schemas_pruned_by_core: u64,
     /// Worker threads used by the schedule DFS.
     pub threads: usize,
 }
@@ -240,6 +260,30 @@ impl CheckReport {
     /// Total exploration-cache misses (fresh feasibility checks).
     pub fn total_cache_misses(&self) -> u64 {
         self.queries.iter().map(|q| q.stats.cache_misses).sum()
+    }
+
+    /// Total core patterns newly learned across queries.
+    pub fn total_cores_learned(&self) -> u64 {
+        self.queries.iter().map(|q| q.stats.cores_learned).sum()
+    }
+
+    /// Total extension attempts pruned by learned core patterns.
+    pub fn total_schemas_pruned_by_core(&self) -> u64 {
+        self.queries
+            .iter()
+            .map(|q| q.stats.schemas_pruned_by_core)
+            .sum()
+    }
+
+    /// Average size (member count) of extracted UNSAT cores, from the
+    /// cumulative solver statistics; `0.0` when none were extracted.
+    pub fn core_avg_size(&self) -> f64 {
+        let s = self.solver_stats();
+        if s.cores_extracted == 0 {
+            0.0
+        } else {
+            s.core_members as f64 / s.cores_extracted as f64
+        }
     }
 
     /// Cumulative solver statistics across queries.
@@ -506,6 +550,10 @@ impl Checker {
     ) -> Result<QueryReport, CheckError> {
         let copies = plan.witnesses.len() + 1;
         let key = ExplorationKey::new(ta, &plan.globally_empty, &plan.initially, copies);
+        // Core patterns learned while exploring the skeleton are part
+        // of this query's work; fold them into its statistics.
+        let mut skeleton_cores_learned = 0u64;
+        let mut skeleton_pruned_by_core = 0u64;
         let mode = if self.config.share_exploration {
             if let Some(exp) = self.cache.replayable(&key) {
                 CacheMode::Replay(exp)
@@ -530,6 +578,8 @@ impl Checker {
                     };
                     let out = self.explore(&spec)?;
                     let covered = out.fully_covered();
+                    skeleton_cores_learned = out.cores_learned;
+                    skeleton_pruned_by_core = out.pruned_by_core;
                     self.cache
                         .insert(out.recorder.finish(key.skeleton(), covered));
                     pruner = self.cache.pruner_for(&key);
@@ -572,6 +622,8 @@ impl Checker {
             cache_hits: out.cache_hits,
             cache_misses: out.cache_misses,
             replayed,
+            cores_learned: skeleton_cores_learned + out.cores_learned,
+            schemas_pruned_by_core: skeleton_pruned_by_core + out.pruned_by_core,
             threads: out.threads,
         };
         let verdict = if let Some((_, ce)) = out.violation {
@@ -628,11 +680,28 @@ impl Checker {
         // taken in ascending order.
         let seeds: Vec<Vec<u64>> = initial_contexts.iter().rev().map(|&c| vec![c]).collect();
 
+        // The shared core-pattern set, present only while recording
+        // with core pruning enabled: seeded with the patterns carried
+        // by every applicable recorded exploration, and extended
+        // concurrently as workers learn new certificates.
+        let cores = match &spec.mode {
+            CacheMode::Record { pruner } if self.config.core_pruning => Some(RwLock::new(
+                pruner
+                    .as_ref()
+                    .map(|p| p.core_patterns())
+                    .unwrap_or_default(),
+            )),
+            _ => None,
+        };
+
         let ex = Explore {
             checker: self,
             spec,
             full,
             threads,
+            cores,
+            probed: Mutex::new(HashSet::new()),
+            query_probes: Mutex::new(HashMap::new()),
             schemas: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             pending: AtomicUsize::new(seeds.len()),
@@ -706,6 +775,8 @@ impl Checker {
             unknown: None,
             cache_hits: 0,
             cache_misses: 0,
+            cores_learned: 0,
+            pruned_by_core: 0,
             solver: SolverStats::default(),
             recorder: Recorder::new(),
             threads,
@@ -717,6 +788,8 @@ impl Checker {
             out.timed_out |= w.timed_out;
             out.cache_hits += w.cache_hits;
             out.cache_misses += w.cache_misses;
+            out.cores_learned += w.cores_learned;
+            out.pruned_by_core += w.pruned_by_core;
             out.solver.merge(&w.solver);
             out.recorder.merge(w.recorder);
             // Canonical violation: the chain earliest in DFS preorder
@@ -761,6 +834,8 @@ impl Checker {
                     cache_hits: 0,
                     cache_misses: 0,
                     replayed: false,
+                    cores_learned: 0,
+                    schemas_pruned_by_core: 0,
                     threads: 1,
                 },
             });
@@ -784,6 +859,8 @@ impl Checker {
             cache_hits: 0,
             cache_misses: 0,
             replayed: false,
+            cores_learned: 0,
+            schemas_pruned_by_core: 0,
             threads: 1,
         };
         let verdict = match result {
@@ -842,6 +919,21 @@ struct Explore<'a> {
     /// Workers currently waiting for work — the signal that makes busy
     /// workers donate subtrees instead of recursing into them.
     idle: AtomicUsize,
+    /// Core patterns shared by all workers of this exploration: read
+    /// on every extension attempt, written when a worker distills a
+    /// fresh certificate. `None` disables core pruning (replay mode,
+    /// cache off, or [`CheckerConfig::core_pruning`] = false).
+    cores: Option<RwLock<CorePatternSet>>,
+    /// Extension steps `(prev, newly)` whose two-segment abstraction
+    /// has already been probed for a core pattern (successfully or
+    /// not), so each distinct step pays for at most one probe per
+    /// exploration.
+    probed: Mutex<HashSet<(u64, u64)>>,
+    /// Memoized query-probe verdicts by final context: `true` means the
+    /// aggregated one-segment system under that context already refutes
+    /// the query, so every schema ending there can skip its per-schema
+    /// query check (see [`Worker::query_pruned`]).
+    query_probes: Mutex<HashMap<u64, bool>>,
     /// Pending subtree roots (context chains), LIFO.
     queue: Mutex<Vec<Vec<u64>>>,
     available: Condvar,
@@ -863,6 +955,8 @@ struct ExploreOutcome {
     unknown: Option<String>,
     cache_hits: u64,
     cache_misses: u64,
+    cores_learned: u64,
+    pruned_by_core: u64,
     solver: SolverStats,
     recorder: Recorder,
     threads: usize,
@@ -889,6 +983,8 @@ struct Worker<'a> {
     unknown: Option<String>,
     cache_hits: u64,
     cache_misses: u64,
+    cores_learned: u64,
+    pruned_by_core: u64,
     recorder: Recorder,
     solver: SolverStats,
 }
@@ -912,6 +1008,8 @@ impl<'a> Worker<'a> {
             unknown: None,
             cache_hits: 0,
             cache_misses: 0,
+            cores_learned: 0,
+            pruned_by_core: 0,
             recorder: Recorder::new(),
             solver: SolverStats::default(),
         }
@@ -1033,12 +1131,152 @@ impl<'a> Worker<'a> {
                     self.cache_hits += 1;
                     self.recorder.record(chain, false);
                     false
+                } else if self.core_prunes(chain) {
+                    // A learned core pattern subsumes this extension:
+                    // some certificate proves no chain with these
+                    // contexts can newly unlock this guard set. Record
+                    // the verdict so replay behaves identically.
+                    self.cache_hits += 1;
+                    self.pruned_by_core += 1;
+                    self.recorder.record(chain, false);
+                    false
                 } else {
-                    self.smt_feasibility(enc, chain, true)
+                    let feasible = self.smt_feasibility(enc, chain, true);
+                    if !feasible {
+                        self.try_learn_core(chain);
+                    }
+                    feasible
                 }
             }
             CacheMode::Off => self.smt_feasibility(enc, chain, false),
         }
+    }
+
+    /// Whether a learned core pattern subsumes this chain's final
+    /// extension step (previous context ⊆ some pattern mask, pattern
+    /// delta ⊆ the newly unlocked set).
+    fn core_prunes(&self, chain: &[u64]) -> bool {
+        let Some(cores) = &self.ex.cores else {
+            return false;
+        };
+        let last = *chain.last().expect("chain is never empty");
+        let prev = if chain.len() >= 2 {
+            chain[chain.len() - 2]
+        } else {
+            0
+        };
+        cores.read().unwrap().prunes(prev, last & !prev)
+    }
+
+    /// After a fresh `Unsat`, tries to distill a generalized core
+    /// pattern from the refuted extension step `(prev, newly)` and
+    /// publishes it: to the shared in-exploration set (so sibling
+    /// workers prune immediately) and to the recorder (so it persists
+    /// with the exploration and transfers to later queries).
+    ///
+    /// Rather than projecting the refuted chain's own certificate —
+    /// whose core is usually pinned to chain-specific constraints even
+    /// when the generalized pattern holds — the step is re-refuted on
+    /// the smallest encoding the pattern semantics quantifies over (see
+    /// [`Worker::probe_core_pattern`]). Each distinct `(prev, newly)`
+    /// pair is probed at most once per exploration, shared across
+    /// workers; every failure mode — feasible abstraction, no
+    /// certificate, disallowed provenance — just declines to learn.
+    fn try_learn_core(&mut self, chain: &[u64]) {
+        if self.ex.cores.is_none() {
+            return;
+        }
+        let last = *chain.last().expect("chain is never empty");
+        let prev = if chain.len() >= 2 {
+            chain[chain.len() - 2]
+        } else {
+            0
+        };
+        let newly = last & !prev;
+        if newly == 0 || !self.ex.probed.lock().unwrap().insert((prev, newly)) {
+            return;
+        }
+        let Some((mask, delta)) = self.probe_core_pattern(prev, newly) else {
+            return;
+        };
+        debug_assert_eq!(
+            mask, prev,
+            "pattern mask must be the refuted step's prefix context"
+        );
+        debug_assert_eq!(
+            delta & !newly,
+            0,
+            "pattern delta must lie within the refuted step's newly unlocked guards"
+        );
+        let cores = self.ex.cores.as_ref().expect("checked above");
+        if cores.write().unwrap().insert(mask, delta) {
+            self.recorder.record_core(mask, delta);
+            self.cores_learned += 1;
+        }
+    }
+
+    /// Whether the per-schema query check of the current prefix is
+    /// discharged by the **aggregated query probe** of its final
+    /// context `F`: a fresh system with the same parameters, initial
+    /// distribution, and query asserts, but the whole run collapsed
+    /// into a single segment available under `F`.
+    ///
+    /// Any run of any schema ending at `F` fires only rules available
+    /// under contexts `⊆ F` (contexts grow monotonically along a
+    /// chain), so its full firing multiset aggregates into the probe's
+    /// one segment with identical initial and final boundary values —
+    /// the same argument as [`Encoding::probe_core_pattern`]. Every
+    /// query constraint evaluates on those boundaries: `Unsat` for the
+    /// probe therefore refutes the query for *every* schema ending at
+    /// `F`, however long. Restricted to plans without unstable
+    /// witnesses (mid-run boundary disjunctions do not aggregate into
+    /// one segment) — exactly the liveness tails whose per-schema
+    /// checks dominate. A `Sat` or `Unknown` probe proves nothing and
+    /// each schema keeps its own check, so verdicts and counterexamples
+    /// are untouched either way; probed once per final context per
+    /// exploration.
+    fn query_pruned(&mut self, enc: &Encoding<'_>, plan: &QueryPlan) -> bool {
+        if !self.ex.checker.config.core_pruning || !plan.witnesses.is_empty() {
+            return false;
+        }
+        let Some(ctx) = enc.final_context() else {
+            return false;
+        };
+        if let Some(&pruned) = self.ex.query_probes.lock().unwrap().get(&ctx) {
+            return pruned;
+        }
+        let started = Instant::now();
+        let spec = self.ex.spec;
+        let mut probe = self.fresh_encoding();
+        probe.push_probe_segment(ctx);
+        probe.push_query();
+        probe.assert_tail_exact();
+        plan.assert_query(&mut probe, spec.info);
+        let pruned = matches!(probe.check(), SatResult::Unsat);
+        self.solver.merge(&SolverStats {
+            core_micros: started.elapsed().as_micros() as u64,
+            ..SolverStats::default()
+        });
+        self.ex.query_probes.lock().unwrap().insert(ctx, pruned);
+        pruned
+    }
+
+    /// Runs [`Encoding::probe_core_pattern`] for an extension step on a
+    /// fresh base encoding. Only the certificate counters (plus the
+    /// probe's wall time) are folded into this worker's statistics: the
+    /// probe is certificate machinery, not lattice search.
+    fn probe_core_pattern(&mut self, prev: u64, newly: u64) -> Option<(u64, u64)> {
+        let started = Instant::now();
+        let mut enc = self.fresh_encoding();
+        let pattern = enc.probe_core_pattern(prev, newly);
+        let s = enc.solver_stats();
+        self.solver.merge(&SolverStats {
+            cores_extracted: s.cores_extracted,
+            core_members: s.core_members,
+            core_micros: started.elapsed().as_micros() as u64,
+            ..SolverStats::default()
+        });
+        pattern
     }
 
     fn smt_feasibility(&mut self, enc: &mut Encoding<'_>, chain: &[u64], record: bool) -> bool {
@@ -1110,20 +1348,28 @@ impl<'a> Worker<'a> {
         // the final context is authoritative for the tail. A skeleton
         // pass has no query — it only maps the feasible frontier.
         if let Some(plan) = spec.query {
-            enc.push_query();
-            enc.assert_tail_exact();
-            plan.assert_query(enc, spec.info);
-            let result = enc.check();
-            enc.pop_query();
-            match result {
-                SatResult::Sat(model) => {
-                    let run = enc.extract(&model);
-                    self.violation = Some((chain.clone(), Counterexample::replay(spec.ta, &run)?));
-                    return Ok(());
-                }
-                SatResult::Unsat => {}
-                SatResult::Unknown(reason) => {
-                    self.unknown.get_or_insert(reason.to_string());
+            if self.query_pruned(enc, plan) {
+                // The aggregated probe for this final context already
+                // refutes the query: no schema ending here can violate
+                // it, so the per-schema check is dischargeable.
+                self.pruned_by_core += 1;
+            } else {
+                enc.push_query();
+                enc.assert_tail_exact();
+                plan.assert_query(enc, spec.info);
+                let result = enc.check();
+                enc.pop_query();
+                match result {
+                    SatResult::Sat(model) => {
+                        let run = enc.extract(&model);
+                        self.violation =
+                            Some((chain.clone(), Counterexample::replay(spec.ta, &run)?));
+                        return Ok(());
+                    }
+                    SatResult::Unsat => {}
+                    SatResult::Unknown(reason) => {
+                        self.unknown.get_or_insert(reason.to_string());
+                    }
                 }
             }
         }

@@ -37,6 +37,47 @@ use holistic_ta::{AtomicGuard, LocationId, RuleId, ThresholdAutomaton, VarId};
 
 use crate::guards::{param_expr_to_lin, resilience_constraint, GuardInfo};
 
+/// Where an encoded assertion came from — recorded per tracked assertion
+/// so UNSAT cores can be projected onto schedule-lattice structure.
+///
+/// The split decides which cores *generalize*: a core whose members are
+/// all position-independent (parameters, initial distribution,
+/// availability) plus guard-entry facts of the **final** boundary
+/// transfers to every sibling extension (see
+/// [`Encoding::unsat_core_pattern`] for the argument); anything
+/// position-specific (locked-guard-false at an intermediate boundary,
+/// guard entry mid-chain) pins the core to one chain and blocks
+/// generalization.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Provenance {
+    /// Resilience condition over the parameters.
+    Param,
+    /// Initial distribution (counter sum == system size) or an
+    /// `initially` proposition asserted at boundary 0.
+    Init,
+    /// Prefix-sum availability constraint inside segment `seg`.
+    Avail {
+        /// Segment index the constraint belongs to.
+        seg: usize,
+    },
+    /// A guard newly unlocked at the entry boundary of segment `seg`
+    /// must hold there.
+    GuardEntry {
+        /// Segment whose entry boundary carries the constraint.
+        seg: usize,
+        /// Guard index in [`GuardInfo`] order.
+        guard: usize,
+    },
+    /// A still-locked guard must be false at the entry boundary of
+    /// segment `seg`.
+    LockedFalse {
+        /// Segment whose entry boundary carries the constraint.
+        seg: usize,
+        /// Guard index in [`GuardInfo`] order.
+        guard: usize,
+    },
+}
+
 /// How a segment's context is handled.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SegmentKind {
@@ -83,6 +124,15 @@ pub struct Encoding<'a> {
     /// Truncated with the boundaries on [`pop_segments`], since a later
     /// push can give the same boundary index different factor variables.
     query_forms: Vec<Vec<Formula>>,
+    /// Provenance per tracked assertion id. Append-only: popped ids are
+    /// simply never asked for again (the solver only reports live ids),
+    /// and the encoding is rebuilt wholesale often enough (tableau
+    /// rebuild threshold) that the map cannot grow without bound.
+    provenance: HashMap<u32, Provenance>,
+    /// Inside a query level ([`push_query`](Encoding::push_query)):
+    /// assertions are query-specific, not structural, and are left
+    /// untracked — they never participate in feasibility cores.
+    in_query: bool,
 }
 
 impl<'a> Encoding<'a> {
@@ -103,13 +153,15 @@ impl<'a> Encoding<'a> {
         solver_config: SolverConfig,
     ) -> Encoding<'a> {
         let mut solver = Solver::with_config(solver_config);
+        let mut provenance = HashMap::new();
         let params: Vec<Var> = ta
             .params
             .iter()
             .map(|p| solver.new_nonneg_var(p.clone()))
             .collect();
         for c in &ta.resilience {
-            solver.assert_constraint(resilience_constraint(c, &params));
+            let id = solver.assert_constraint_tracked(resilience_constraint(c, &params));
+            provenance.insert(id.0, Provenance::Param);
         }
 
         let mut banned = vec![false; ta.locations.len()];
@@ -128,10 +180,11 @@ impl<'a> Encoding<'a> {
                 init.push(LinExpr::zero());
             }
         }
-        solver.assert_constraint(Constraint::eq(
+        let id = solver.assert_constraint_tracked(Constraint::eq(
             sum,
             param_expr_to_lin(&ta.size_expr, &params),
         ));
+        provenance.insert(id.0, Provenance::Init);
 
         let topo = ta
             .topological_rules()
@@ -155,6 +208,8 @@ impl<'a> Encoding<'a> {
             shared_exprs,
             query_props: Vec::new(),
             query_forms: Vec::new(),
+            provenance,
+            in_query: false,
         }
     }
 
@@ -191,12 +246,73 @@ impl<'a> Encoding<'a> {
     }
 
     fn push_one(&mut self, kind: SegmentKind) {
-        let ta = self.ta;
-        let si = self.segments.len();
         let prev_ctx = self.segments.last().map(|s| match s {
             SegmentKind::Fixed(c) => *c,
             SegmentKind::Free => u64::MAX,
         });
+        let si = self.push_body(kind);
+
+        // Guard constraints at the entry boundary `si`: newly unlocked
+        // guards hold there; locked guards are still false there (their
+        // threshold may only be crossed *during* this segment, which is
+        // exactly when the next context takes over). The locked-false
+        // constraints keep the context semantics exact, which both
+        // sharpens DFS pruning and lets the final context decide every
+        // vocabulary atom at the tail.
+        let info = self.info;
+        match kind {
+            SegmentKind::Fixed(ctx) => {
+                let newly = match prev_ctx {
+                    Some(p) if p != u64::MAX => ctx & !p,
+                    Some(_) => 0, // after a Free segment nothing is "new"
+                    None => ctx,
+                };
+                for (gi, g) in info.guards.iter().enumerate() {
+                    if newly & (1 << gi) != 0 {
+                        let c = self.guard_at_interned(g, si);
+                        let id = self.solver.assert_tracked(Formula::atom(c));
+                        self.provenance
+                            .insert(id.0, Provenance::GuardEntry { seg: si, guard: gi });
+                    } else if ctx & (1 << gi) == 0 {
+                        let c = self.guard_at_interned(g, si);
+                        let id = self.solver.assert_tracked(Formula::not(Formula::atom(c)));
+                        self.provenance
+                            .insert(id.0, Provenance::LockedFalse { seg: si, guard: gi });
+                    }
+                }
+            }
+            SegmentKind::Free => {
+                let seg = self.factors[si].clone();
+                for (r, x) in seg {
+                    let rule = &self.ta.rules[r.0];
+                    if rule.guard.is_true() {
+                        continue;
+                    }
+                    let atoms = rule.guard.atoms().to_vec();
+                    let holds = Formula::and(
+                        atoms
+                            .iter()
+                            .map(|g| Formula::atom(self.guard_at_interned(g, si))),
+                    );
+                    let f = Formula::or([
+                        Formula::atom(Constraint::le(LinExpr::var(x), LinExpr::constant(0))),
+                        holds,
+                    ]);
+                    self.solver.assert(f);
+                }
+            }
+        }
+    }
+
+    /// Appends one segment's factors, availability constraints, and
+    /// boundary caches — everything [`push_one`](Encoding::push_one)
+    /// does *except* the entry-boundary guard constraints. Returns the
+    /// new segment's index. The core-pattern probe uses this directly:
+    /// its system must not constrain any boundary beyond the probed
+    /// unlock.
+    fn push_body(&mut self, kind: SegmentKind) -> usize {
+        let ta = self.ta;
+        let si = self.segments.len();
 
         // Fresh factor variables per push. (Pooling them across
         // re-pushes of the same position looks attractive but makes the
@@ -233,7 +349,8 @@ impl<'a> Encoding<'a> {
                     avail += d.clone();
                 }
                 let c = self.solver.interner().ge(avail, LinExpr::var(x));
-                self.solver.assert_constraint(c);
+                let id = self.solver.assert_constraint_tracked(c);
+                self.provenance.insert(id.0, Provenance::Avail { seg: si });
                 *delta.entry(from).or_default() -= LinExpr::var(x);
                 *delta.entry(to).or_default() += LinExpr::var(x);
             }
@@ -252,53 +369,7 @@ impl<'a> Encoding<'a> {
         }
         self.counter_exprs.push(counters);
         self.shared_exprs.push(shared);
-
-        // Guard constraints at the entry boundary `si`: newly unlocked
-        // guards hold there; locked guards are still false there (their
-        // threshold may only be crossed *during* this segment, which is
-        // exactly when the next context takes over). The locked-false
-        // constraints keep the context semantics exact, which both
-        // sharpens DFS pruning and lets the final context decide every
-        // vocabulary atom at the tail.
-        let info = self.info;
-        match kind {
-            SegmentKind::Fixed(ctx) => {
-                let newly = match prev_ctx {
-                    Some(p) if p != u64::MAX => ctx & !p,
-                    Some(_) => 0, // after a Free segment nothing is "new"
-                    None => ctx,
-                };
-                for (gi, g) in info.guards.iter().enumerate() {
-                    if newly & (1 << gi) != 0 {
-                        let c = self.guard_at_interned(g, si);
-                        self.solver.assert(Formula::atom(c));
-                    } else if ctx & (1 << gi) == 0 {
-                        let c = self.guard_at_interned(g, si);
-                        self.solver.assert(Formula::not(Formula::atom(c)));
-                    }
-                }
-            }
-            SegmentKind::Free => {
-                let seg = self.factors[si].clone();
-                for (r, x) in seg {
-                    let rule = &ta.rules[r.0];
-                    if rule.guard.is_true() {
-                        continue;
-                    }
-                    let atoms = rule.guard.atoms().to_vec();
-                    let holds = Formula::and(
-                        atoms
-                            .iter()
-                            .map(|g| Formula::atom(self.guard_at_interned(g, si))),
-                    );
-                    let f = Formula::or([
-                        Formula::atom(Constraint::le(LinExpr::var(x), LinExpr::constant(0))),
-                        holds,
-                    ]);
-                    self.solver.assert(f);
-                }
-            }
-        }
+        si
     }
 
     /// Removes the segments added by the matching
@@ -371,11 +442,13 @@ impl<'a> Encoding<'a> {
     /// Opens a solver level for query constraints.
     pub fn push_query(&mut self) {
         self.solver.push();
+        self.in_query = true;
     }
 
     /// Closes the query level.
     pub fn pop_query(&mut self) {
         self.solver.pop();
+        self.in_query = false;
     }
 
     /// The number of boundaries (`segments + 1`); boundary `i` is the
@@ -451,9 +524,18 @@ impl<'a> Encoding<'a> {
     }
 
     /// Asserts a proposition at a specific boundary.
+    ///
+    /// Outside a query level this is structural (the `initially`
+    /// proposition at boundary 0) and is tracked with [`Provenance::Init`]
+    /// so it can participate in generalized UNSAT cores.
     pub fn assert_prop_at(&mut self, prop: &Prop, b: usize) {
         let f = self.prop_at(prop, b);
-        self.solver.assert(f);
+        if self.in_query || b != 0 {
+            self.solver.assert(f);
+        } else {
+            let id = self.solver.assert_tracked(f);
+            self.provenance.insert(id.0, Provenance::Init);
+        }
     }
 
     /// Asserts that a proposition holds at *some* boundary.
@@ -506,6 +588,160 @@ impl<'a> Encoding<'a> {
     /// Runs the solver.
     pub fn check(&mut self) -> SatResult {
         self.solver.check()
+    }
+
+    /// After an `Unsat` feasibility check of a fully Fixed chain:
+    /// extracts a minimal UNSAT core and, when its provenance permits,
+    /// generalizes it into a **core pattern** `(M, Δ)` meaning
+    ///
+    /// > no chain of this exploration whose contexts are all `⊆ M` can
+    /// > be extended by a step that newly unlocks `Δ` (or any superset).
+    ///
+    /// Here `M` is the context preceding the final push group and `Δ`
+    /// the guard bits of the core's final-entry constraints.
+    ///
+    /// **Why this transfers** (contrapositive): suppose some attempt
+    /// chain with previous mask `M' ⊆ M` and unlock set `Δ' ⊇ Δ` were
+    /// feasible. Its witness run fires, before its final boundary, only
+    /// rules whose guards sit inside contexts `⊆ M' ⊆ M` — so the whole
+    /// pre-final firing multiset is executable within the *single*
+    /// original segment of context `M` (all the rules exist there and
+    /// within one context firings commute into grouped topological
+    /// order, which is exactly what the availability constraints of one
+    /// segment capture). Assign those aggregated factors to the original
+    /// chain's segment `M`, zero everywhere else. Every core member is
+    /// then satisfied: `Param`/`Init` are chain-independent; `Avail` in
+    /// pre-final segments holds because the attempt's run is executable
+    /// from the same initial distribution (zero-factor segments are
+    /// trivially available); `Avail` in the final segment has zero usage;
+    /// and each `GuardEntry` of `Δ` at the final boundary evaluates on
+    /// shared values equal to the attempt's final-boundary values, where
+    /// the attempt itself asserts the guard holds (since `Δ ⊆ Δ'`). That
+    /// satisfies the core — contradicting its verified infeasibility.
+    /// Hence every such attempt is infeasible, over ℤ as well (the
+    /// argument never relaxes to ℚ).
+    ///
+    /// Anything position-specific in the core blocks generalization and
+    /// yields `None`: `LockedFalse` (the locked set differs across
+    /// sibling chains) and `GuardEntry` at non-final boundaries (the
+    /// attempt never asserts those facts).
+    pub fn unsat_core_pattern(&mut self) -> Option<(u64, u64)> {
+        let copies = *self.push_sizes.last()?;
+        let final_entry = self.segments.len().checked_sub(copies)?;
+        let prev_mask = if final_entry == 0 {
+            0
+        } else {
+            match self.segments[final_entry - 1] {
+                SegmentKind::Fixed(m) => m,
+                SegmentKind::Free => return None,
+            }
+        };
+        if self.segments.iter().any(|s| matches!(s, SegmentKind::Free)) {
+            return None;
+        }
+        let core = self.solver.unsat_core()?;
+        let mut delta = 0u64;
+        for id in core {
+            match self.provenance.get(&id.0)? {
+                Provenance::Param | Provenance::Init => {}
+                Provenance::Avail { .. } => {}
+                Provenance::GuardEntry { seg, guard } if *seg == final_entry => {
+                    delta |= 1 << *guard;
+                }
+                // Position-specific: pinned to this exact chain.
+                Provenance::GuardEntry { .. } | Provenance::LockedFalse { .. } => return None,
+            }
+        }
+        // A core that never mentions the new unlock cannot blame the
+        // extension; the prefix was feasible, so such a core should not
+        // arise — refuse to learn from it rather than over-prune.
+        if delta == 0 {
+            return None;
+        }
+        Some((prev_mask, delta))
+    }
+
+    /// Probes the **generalized** infeasibility of one extension step,
+    /// independent of any particular chain: from a valid initial
+    /// distribution, fire any multiset of rules available under `prev`,
+    /// and demand that `newly`'s guards hold at the resulting boundary.
+    ///
+    /// This is the least-constrained system the core-pattern semantics
+    /// quantifies over. Any feasible attempt a pattern `(prev, Δ ⊆
+    /// newly)` would prune yields a solution of this system — the
+    /// attempt's pre-final firings all sit in contexts `⊆ prev`, so
+    /// they aggregate into the single probe segment exactly as in the
+    /// [`unsat_core_pattern`](Encoding::unsat_core_pattern) transfer
+    /// argument — so `Unsat` here licenses the pattern outright. The
+    /// probe's own Farkas certificate supplies the minimal `Δ`: since
+    /// no boundary constraint besides the unlock is ever asserted,
+    /// every core member carries `Param`/`Init`/`Avail`/`GuardEntry`
+    /// provenance and the projection cannot be pinned to one chain the
+    /// way a full chain's certificate can.
+    ///
+    /// Must be called on a base encoding (no segments pushed, no query
+    /// asserts); consumes the encoding's solver state. Returns `None`
+    /// when the probe is satisfiable, the certificate is unavailable,
+    /// or `newly` is empty.
+    pub fn probe_core_pattern(&mut self, prev: u64, newly: u64) -> Option<(u64, u64)> {
+        debug_assert!(
+            self.segments.is_empty() && !self.in_query,
+            "the probe needs a pristine base encoding"
+        );
+        self.probe_core_pattern_inner(prev, newly)
+    }
+
+    /// Appends one guard-constraint-free segment available under `ctx`
+    /// to a base encoding. The query probe builds its aggregated
+    /// single-segment system with this: asserting entry guards would
+    /// wrongly restrict which runs the probe quantifies over.
+    pub(crate) fn push_probe_segment(&mut self, ctx: u64) {
+        debug_assert!(
+            self.segments.is_empty() && !self.in_query,
+            "the probe needs a pristine base encoding"
+        );
+        self.push_body(SegmentKind::Fixed(ctx));
+    }
+
+    fn probe_core_pattern_inner(&mut self, prev: u64, newly: u64) -> Option<(u64, u64)> {
+        if newly == 0 {
+            return None;
+        }
+        if prev != 0 {
+            self.push_body(SegmentKind::Fixed(prev));
+        }
+        let boundary = self.segments.len();
+        let info = self.info;
+        for (gi, g) in info.guards.iter().enumerate() {
+            if newly & (1 << gi) != 0 {
+                let c = self.guard_at_interned(g, boundary);
+                let id = self.solver.assert_tracked(Formula::atom(c));
+                self.provenance.insert(
+                    id.0,
+                    Provenance::GuardEntry {
+                        seg: boundary,
+                        guard: gi,
+                    },
+                );
+            }
+        }
+        if !matches!(self.solver.check(), SatResult::Unsat) {
+            return None;
+        }
+        let core = self.solver.unsat_core()?;
+        let mut delta = 0u64;
+        for id in core {
+            if let Provenance::GuardEntry { guard, .. } = self.provenance.get(&id.0)? {
+                delta |= 1 << *guard;
+            }
+        }
+        // Without the unlock asserts the system is satisfiable (fire
+        // nothing), so a sound core must mention them; refuse to learn
+        // from one that does not rather than over-prune.
+        if delta == 0 {
+            return None;
+        }
+        Some((prev, delta))
     }
 
     /// Solver statistics.

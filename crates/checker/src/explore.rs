@@ -118,6 +118,107 @@ impl ExplorationKey {
     }
 }
 
+/// A learned infeasibility pattern `(mask, delta)`, distilled from a
+/// Farkas-certificate UNSAT core (see
+/// [`Encoding::unsat_core_pattern`](crate::Encoding::unsat_core_pattern)):
+/// *no* chain of the exploration whose contexts are all `⊆ mask` can be
+/// feasibly extended by a step that newly unlocks `delta` (or any
+/// superset of it). Patterns generalize single infeasible chains to
+/// whole sublattices, which is what lets one SMT refutation prune many
+/// schemas.
+///
+/// The set keeps only maximally general patterns: `(m, d)` subsumes
+/// `(m', d')` when `m' ⊆ m` and `d ⊆ d'` (a larger context mask prunes
+/// more prefixes, a smaller delta prunes more extensions). Lookups are
+/// indexed by the lowest set bit of `delta` — a pattern can only match
+/// an attempt whose newly-unlocked set contains that bit — so the hot
+/// `prunes` path scans a few small buckets instead of every pattern.
+#[derive(Debug, Default, Clone)]
+pub struct CorePatternSet {
+    /// Patterns bucketed by `delta.trailing_zeros()`.
+    buckets: HashMap<u32, Vec<(u64, u64)>>,
+    len: usize,
+}
+
+impl CorePatternSet {
+    /// An empty set.
+    pub fn new() -> CorePatternSet {
+        CorePatternSet::default()
+    }
+
+    /// Number of (maximally general) stored patterns.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no patterns are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All stored patterns, sorted for deterministic output.
+    pub fn patterns(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self.buckets.values().flatten().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Inserts a learned pattern, keeping the set subsumption-reduced.
+    /// Returns `false` if an existing pattern already subsumes it (the
+    /// caller should not count it as newly learned). `delta = 0` is
+    /// rejected outright: it would claim *every* extension of `mask`
+    /// prefixes infeasible, which the certificate never establishes.
+    pub fn insert(&mut self, mask: u64, delta: u64) -> bool {
+        if delta == 0 {
+            return false;
+        }
+        // Subsumed by an existing pattern? Its delta is a subset of
+        // ours, so its lowest bit is one of our delta's bits.
+        let mut bits = delta;
+        while bits != 0 {
+            let b = bits.trailing_zeros();
+            if let Some(v) = self.buckets.get(&b) {
+                if v.iter().any(|&(m, d)| mask & !m == 0 && d & !delta == 0) {
+                    return false;
+                }
+            }
+            bits &= bits - 1;
+        }
+        // Evict patterns the new one subsumes. Their deltas are
+        // supersets of ours, so their lowest bit is at or below ours.
+        let tz = delta.trailing_zeros();
+        for (&b, v) in self.buckets.iter_mut() {
+            if b <= tz {
+                let before = v.len();
+                v.retain(|&(m, d)| !(m & !mask == 0 && delta & !d == 0));
+                self.len -= before - v.len();
+            }
+        }
+        self.buckets.entry(tz).or_default().push((mask, delta));
+        self.len += 1;
+        true
+    }
+
+    /// Whether some pattern prunes an extension attempt: the prefix's
+    /// final context is `prev`, and the step would newly unlock
+    /// `newly`. True when a stored `(m, d)` has `prev ⊆ m` and
+    /// `d ⊆ newly` — by monotonicity every earlier context of the
+    /// prefix is also `⊆ m`, so the attempt embeds the pattern.
+    pub fn prunes(&self, prev: u64, newly: u64) -> bool {
+        let mut bits = newly;
+        while bits != 0 {
+            let b = bits.trailing_zeros();
+            if let Some(v) = self.buckets.get(&b) {
+                if v.iter().any(|&(m, d)| prev & !m == 0 && d & !newly == 0) {
+                    return true;
+                }
+            }
+            bits &= bits - 1;
+        }
+        false
+    }
+}
+
 /// A recorded exploration of one base encoding's schedule lattice.
 #[derive(Debug)]
 pub struct Exploration {
@@ -128,6 +229,10 @@ pub struct Exploration {
     /// Feasible chains in canonical (lexicographic = DFS preorder)
     /// order, for replay.
     feasible: Vec<Vec<u64>>,
+    /// Core patterns learned while recording (sorted, deduplicated).
+    /// They transfer under exactly the same [`ExplorationKey::prunes`]
+    /// monotonicity as infeasible verdicts.
+    cores: Vec<(u64, u64)>,
     /// Whether the whole lattice was covered with definite verdicts
     /// (no cap, timeout, violation stop, or unknown). Only complete
     /// explorations may be replayed; incomplete ones still prune.
@@ -155,6 +260,11 @@ impl Exploration {
         self.verdicts.len() - self.feasible.len()
     }
 
+    /// Core patterns learned while this exploration was recorded.
+    pub fn cores(&self) -> &[(u64, u64)] {
+        &self.cores
+    }
+
     /// Whether the exploration covers the whole lattice (replayable).
     pub fn is_complete(&self) -> bool {
         self.complete
@@ -176,6 +286,7 @@ impl Exploration {
             copies: self.key.copies,
             feasible: self.feasible.clone(),
             infeasible,
+            cores: self.cores.clone(),
             complete: self.complete,
         }
     }
@@ -197,10 +308,14 @@ impl Exploration {
         }
         let mut feasible = s.feasible;
         feasible.sort_unstable();
+        let mut cores = s.cores;
+        cores.sort_unstable();
+        cores.dedup();
         Exploration {
             key,
             verdicts,
             feasible,
+            cores,
             complete: s.complete,
         }
     }
@@ -227,6 +342,8 @@ pub struct ExplorationSnapshot {
     pub feasible: Vec<Vec<u64>>,
     /// Infeasible chains in canonical order.
     pub infeasible: Vec<Vec<u64>>,
+    /// Learned core patterns `(mask, delta)` in canonical order.
+    pub cores: Vec<(u64, u64)>,
     /// Whether the recording covers the whole lattice.
     pub complete: bool,
 }
@@ -237,6 +354,8 @@ pub struct ExplorationSnapshot {
 #[derive(Debug, Default)]
 pub struct Recorder {
     nodes: Vec<(Vec<u64>, bool)>,
+    /// Core patterns learned by this recorder's worker.
+    cores: Vec<(u64, u64)>,
     /// Set when a feasibility check returned `Unknown`: the node's
     /// verdict is missing, so the exploration cannot be complete.
     pub saw_unknown: bool,
@@ -253,9 +372,16 @@ impl Recorder {
         self.nodes.push((chain.to_vec(), feasible));
     }
 
+    /// Records a learned core pattern `(mask, delta)` so it persists
+    /// with the finished exploration (and through checkpoints).
+    pub fn record_core(&mut self, mask: u64, delta: u64) {
+        self.cores.push((mask, delta));
+    }
+
     /// Merges another recorder (e.g. a worker's) into this one.
     pub fn merge(&mut self, other: Recorder) {
         self.nodes.extend(other.nodes);
+        self.cores.extend(other.cores);
         self.saw_unknown |= other.saw_unknown;
     }
 
@@ -273,10 +399,14 @@ impl Recorder {
             .map(|(c, _)| c.clone())
             .collect();
         feasible.sort_unstable();
+        let mut cores = self.cores;
+        cores.sort_unstable();
+        cores.dedup();
         Exploration {
             key,
             verdicts,
             feasible,
+            cores,
             complete,
         }
     }
@@ -305,6 +435,23 @@ impl Pruner {
     /// Number of contributing recordings.
     pub fn num_sources(&self) -> usize {
         self.sources.len()
+    }
+
+    /// All core patterns carried by the sources, subsumption-reduced.
+    /// Transfer is sound for exactly the reason chain verdicts
+    /// transfer ([`ExplorationKey::prunes`]): every source was recorded
+    /// under a weaker-or-equal base with at least as many copies, so a
+    /// certificate's members (resilience, init distribution,
+    /// availability, entry guard) are all present — and an attempt at
+    /// fewer copies zero-pads into the recorded shape.
+    pub fn core_patterns(&self) -> CorePatternSet {
+        let mut set = CorePatternSet::new();
+        for e in &self.sources {
+            for &(m, d) in e.cores() {
+                set.insert(m, d);
+            }
+        }
+        set
     }
 }
 
@@ -385,6 +532,24 @@ impl ExplorationCache {
                 map.insert(e.key.clone(), Arc::new(e));
             }
         }
+    }
+
+    /// All learned core patterns recorded for `ta`, aggregated over
+    /// every base encoding and subsumption-reduced, in canonical
+    /// order. Diagnostic surface for `--explain-prunes`.
+    pub fn cores_for(&self, ta: &ThresholdAutomaton) -> Vec<(u64, u64)> {
+        let fp = fingerprint(ta);
+        let mut set = CorePatternSet::new();
+        for shard in &self.shards {
+            for e in shard.lock().unwrap().values() {
+                if e.key.automaton == fp {
+                    for &(m, d) in e.cores() {
+                        set.insert(m, d);
+                    }
+                }
+            }
+        }
+        set.patterns()
     }
 
     /// Snapshots every recorded exploration, in a deterministic order
@@ -495,6 +660,63 @@ mod tests {
         let mut r = Recorder::new();
         r.record(&[0], true);
         assert!(!r.finish(k, false).is_complete());
+    }
+
+    #[test]
+    fn core_pattern_set_subsumption_and_matching() {
+        let mut s = CorePatternSet::new();
+        assert!(!s.insert(0b1, 0)); // delta 0 rejected
+        assert!(s.insert(0b011, 0b100));
+        assert_eq!(s.len(), 1);
+        // Subsumed: smaller mask, larger delta.
+        assert!(!s.insert(0b001, 0b110));
+        assert_eq!(s.len(), 1);
+        // Subsumes the stored pattern: larger mask, same delta.
+        assert!(s.insert(0b111, 0b100));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.patterns(), vec![(0b111, 0b100)]);
+        // Incomparable pattern coexists.
+        assert!(s.insert(0b1000, 0b10));
+        assert_eq!(s.len(), 2);
+
+        // (0b111, 0b100) prunes: prev ⊆ 0b111 and 0b100 ⊆ newly.
+        assert!(s.prunes(0b011, 0b100));
+        assert!(s.prunes(0, 0b1100));
+        assert!(!s.prunes(0b1011, 0b100), "prev outside mask");
+        assert!(!s.prunes(0b011, 0b011), "delta not newly unlocked");
+        // The second pattern.
+        assert!(s.prunes(0b1000, 0b110));
+        assert!(!s.prunes(0b0100, 0b010), "prev outside second mask");
+    }
+
+    #[test]
+    fn cores_survive_merge_finish_and_snapshot_round_trip() {
+        let k = key(&[], &Prop::True, 1);
+        let mut a = Recorder::new();
+        a.record(&[0b1], true);
+        a.record_core(0b1, 0b10);
+        let mut b = Recorder::new();
+        b.record(&[0b1, 0b11], false);
+        b.record_core(0b1, 0b10); // duplicate across workers
+        b.record_core(0b11, 0b100);
+        let mut merged = Recorder::new();
+        merged.merge(a);
+        merged.merge(b);
+        let e = merged.finish(k, true);
+        assert_eq!(e.cores(), &[(0b1, 0b10), (0b11, 0b100)]);
+        let snap = e.snapshot();
+        assert_eq!(snap.cores, vec![(0b1, 0b10), (0b11, 0b100)]);
+        let back = Exploration::from_snapshot(snap);
+        assert_eq!(back.cores(), e.cores());
+
+        // A pruner over this source exposes the patterns.
+        let cache = ExplorationCache::new();
+        cache.insert(back);
+        let strong = key(&[7], &Prop::loc_empty(LocationId(7)), 1);
+        let pruner = cache.pruner_for(&strong).expect("skeleton source applies");
+        let pats = pruner.core_patterns();
+        assert_eq!(pats.len(), 2);
+        assert!(pats.prunes(0b1, 0b10));
     }
 
     #[test]

@@ -52,8 +52,10 @@ pub use checker::{
     QueryStats, Strategy, Verdict, WORKER_PANIC_PREFIX,
 };
 pub use counterexample::{CeStep, Counterexample, ReplayError};
-pub use encode::{Encoding, SegmentKind, SymbolicRun};
+pub use encode::{Encoding, Provenance, SegmentKind, SymbolicRun};
 pub use enumeration::{count_schedules, enumerate_schedules, ContextSchedule, ScheduleEnumeration};
-pub use explore::{Exploration, ExplorationCache, ExplorationKey, ExplorationSnapshot, Pruner};
+pub use explore::{
+    CorePatternSet, Exploration, ExplorationCache, ExplorationKey, ExplorationSnapshot, Pruner,
+};
 pub use guards::{GuardError, GuardInfo};
 pub use matrix::MatrixJob;

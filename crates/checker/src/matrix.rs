@@ -116,6 +116,8 @@ fn panicked_report(message: String, duration: Duration) -> CheckReport {
                 cache_hits: 0,
                 cache_misses: 0,
                 replayed: false,
+                cores_learned: 0,
+                schemas_pruned_by_core: 0,
                 threads: 1,
             },
         }],

@@ -53,4 +53,4 @@ pub use linexpr::{LinExpr, Var};
 pub use model::{Model, SatResult, UnknownReason};
 pub use rat::{Rat, RatOverflow};
 pub use simplex::{LpResult, Simplex};
-pub use solver::{Solver, SolverConfig, SolverStats};
+pub use solver::{AssertId, Solver, SolverConfig, SolverStats};

@@ -54,6 +54,10 @@ pub enum LpResult {
 struct VarState {
     lower: Option<Rat>,
     upper: Option<Rat>,
+    /// Provenance tag of the assertion that produced the current lower
+    /// bound; `None` for background bounds (variable non-negativity).
+    lower_tag: Option<u32>,
+    upper_tag: Option<u32>,
     value: Rat,
     name: String,
 }
@@ -139,8 +143,8 @@ fn merge_scaled(
 
 #[derive(Clone, Copy, Debug)]
 enum TrailEntry {
-    Lower(Var, Option<Rat>),
-    Upper(Var, Option<Rat>),
+    Lower(Var, Option<Rat>, Option<u32>),
+    Upper(Var, Option<Rat>, Option<u32>),
 }
 
 /// The incremental simplex tableau.
@@ -161,8 +165,16 @@ pub struct Simplex {
     /// Basic variables that may violate a bound (superset of the actual
     /// violated set; lazily shrunk during [`check`](Simplex::check)).
     suspect: BTreeSet<Var>,
-    /// Number of variables with `lower > upper`.
-    conflicts: usize,
+    /// Variables with `lower > upper`, in order of appearance. Bounds
+    /// only tighten within a level and relax in reverse trail order on
+    /// pop, so conflicts appear and disappear LIFO — a stack is exact.
+    conflict_stack: Vec<Var>,
+    /// Provenance tags of bounds that participated in an infeasibility
+    /// since the last [`clear_conflict_tags`](Simplex::clear_conflict_tags):
+    /// both sides of every bound conflict, plus the blocking bounds of
+    /// every terminal (no entering variable) pivot row. The union over a
+    /// whole solver search seeds UNSAT-core extraction.
+    conflict_tags: Vec<u32>,
     trail: Vec<TrailEntry>,
     levels: Vec<usize>,
     /// Pivot counter (statistics).
@@ -189,6 +201,8 @@ impl Simplex {
         self.vars.push(VarState {
             lower: None,
             upper: None,
+            lower_tag: None,
+            upper_tag: None,
             value: Rat::ZERO,
             name: name.into(),
         });
@@ -238,6 +252,29 @@ impl Simplex {
         self.vars[v.index()].upper
     }
 
+    /// Provenance tag of the current lower bound, if tagged.
+    pub fn lower_tag(&self, v: Var) -> Option<u32> {
+        self.vars[v.index()].lower_tag
+    }
+
+    /// Provenance tag of the current upper bound, if tagged.
+    pub fn upper_tag(&self, v: Var) -> Option<u32> {
+        self.vars[v.index()].upper_tag
+    }
+
+    /// Provenance tags of bounds that participated in any infeasibility
+    /// observed since the last
+    /// [`clear_conflict_tags`](Simplex::clear_conflict_tags). May contain
+    /// duplicates; background (untagged) bounds are never listed.
+    pub fn conflict_tags(&self) -> &[u32] {
+        &self.conflict_tags
+    }
+
+    /// Clears the accumulated conflict-tag set.
+    pub fn clear_conflict_tags(&mut self) {
+        self.conflict_tags.clear();
+    }
+
     /// Opens a backtracking level.
     pub fn push(&mut self) {
         self.levels.push(self.trail.len());
@@ -251,21 +288,25 @@ impl Simplex {
     pub fn pop(&mut self) {
         let mark = self.levels.pop().expect("pop without matching push");
         while self.trail.len() > mark {
-            let (v, entry_is_lower, old) = match self.trail.pop().unwrap() {
-                TrailEntry::Lower(v, old) => (v, true, old),
-                TrailEntry::Upper(v, old) => (v, false, old),
+            let (v, entry_is_lower, old, old_tag) = match self.trail.pop().unwrap() {
+                TrailEntry::Lower(v, old, tag) => (v, true, old, tag),
+                TrailEntry::Upper(v, old, tag) => (v, false, old, tag),
             };
             let st = &mut self.vars[v.index()];
             let was_conflict = st.conflicting();
             if entry_is_lower {
                 st.lower = old;
+                st.lower_tag = old_tag;
             } else {
                 st.upper = old;
+                st.upper_tag = old_tag;
             }
             // Bounds only tighten within a level, so restoring relaxes:
-            // conflicts can disappear but never appear here.
+            // conflicts can disappear but never appear here — in reverse
+            // order of appearance, matching the stack.
             if was_conflict && !st.conflicting() {
-                self.conflicts -= 1;
+                let top = self.conflict_stack.pop();
+                debug_assert_eq!(top, Some(v), "conflicts must resolve LIFO");
             }
         }
     }
@@ -277,20 +318,32 @@ impl Simplex {
     /// Asserts `v >= bound`, tightening only. Returns `Infeasible` if the
     /// new bound contradicts the current upper bound.
     pub fn assert_lower(&mut self, v: Var, bound: Rat) -> LpResult {
+        self.assert_lower_tagged(v, bound, None)
+    }
+
+    /// [`assert_lower`](Simplex::assert_lower) with a provenance tag
+    /// recorded against the bound for UNSAT-core extraction.
+    pub fn assert_lower_tagged(&mut self, v: Var, bound: Rat, tag: Option<u32>) -> LpResult {
         let st = &self.vars[v.index()];
         if st.lower.is_some_and(|l| l >= bound) {
             return LpResult::Feasible;
         }
         let was_conflict = st.conflicting();
-        self.trail.push(TrailEntry::Lower(v, st.lower));
+        self.trail
+            .push(TrailEntry::Lower(v, st.lower, st.lower_tag));
         let conflict_now = st.upper.is_some_and(|u| u < bound);
-        self.vars[v.index()].lower = Some(bound);
+        let upper_tag = st.upper_tag;
+        let st = &mut self.vars[v.index()];
+        st.lower = Some(bound);
+        st.lower_tag = tag;
         if conflict_now {
             // Record the tightening anyway so that pop() restores it; the
             // state is conflicting until then.
             if !was_conflict {
-                self.conflicts += 1;
+                self.conflict_stack.push(v);
             }
+            self.conflict_tags.extend(tag);
+            self.conflict_tags.extend(upper_tag);
             return LpResult::Infeasible;
         }
         if self.is_basic(v) {
@@ -306,18 +359,30 @@ impl Simplex {
     /// Asserts `v <= bound`, tightening only. Returns `Infeasible` if the
     /// new bound contradicts the current lower bound.
     pub fn assert_upper(&mut self, v: Var, bound: Rat) -> LpResult {
+        self.assert_upper_tagged(v, bound, None)
+    }
+
+    /// [`assert_upper`](Simplex::assert_upper) with a provenance tag
+    /// recorded against the bound for UNSAT-core extraction.
+    pub fn assert_upper_tagged(&mut self, v: Var, bound: Rat, tag: Option<u32>) -> LpResult {
         let st = &self.vars[v.index()];
         if st.upper.is_some_and(|u| u <= bound) {
             return LpResult::Feasible;
         }
         let was_conflict = st.conflicting();
-        self.trail.push(TrailEntry::Upper(v, st.upper));
+        self.trail
+            .push(TrailEntry::Upper(v, st.upper, st.upper_tag));
         let conflict_now = st.lower.is_some_and(|l| l > bound);
-        self.vars[v.index()].upper = Some(bound);
+        let lower_tag = st.lower_tag;
+        let st = &mut self.vars[v.index()];
+        st.upper = Some(bound);
+        st.upper_tag = tag;
         if conflict_now {
             if !was_conflict {
-                self.conflicts += 1;
+                self.conflict_stack.push(v);
             }
+            self.conflict_tags.extend(tag);
+            self.conflict_tags.extend(lower_tag);
             return LpResult::Infeasible;
         }
         if self.is_basic(v) {
@@ -359,6 +424,12 @@ impl Simplex {
     /// become direct bounds; general linear forms get a (cached) slack
     /// variable.
     pub fn assert_constraint(&mut self, c: &Constraint) -> LpResult {
+        self.assert_constraint_tagged(c, None)
+    }
+
+    /// [`assert_constraint`](Simplex::assert_constraint) with a
+    /// provenance tag recorded against every bound it produces.
+    pub fn assert_constraint_tagged(&mut self, c: &Constraint, tag: Option<u32>) -> LpResult {
         if let Some(truth) = c.constant_truth() {
             return if truth {
                 LpResult::Feasible
@@ -367,8 +438,8 @@ impl Simplex {
                 // throwaway variable, so that the conflict persists until
                 // the enclosing level is popped.
                 let f = self.new_var("false");
-                let _ = self.assert_lower(f, Rat::ONE);
-                let _ = self.assert_upper(f, Rat::ZERO);
+                let _ = self.assert_lower_tagged(f, Rat::ONE, tag);
+                let _ = self.assert_upper_tagged(f, Rat::ZERO, tag);
                 LpResult::Infeasible
             };
         }
@@ -380,24 +451,24 @@ impl Simplex {
             // k·v REL -constant  ⇒  v REL' -constant/k (flip if k < 0).
             let bound = -constant / k;
             return match (c.rel(), k.is_positive()) {
-                (Rel::Le, true) | (Rel::Ge, false) => self.assert_upper(v, bound),
-                (Rel::Ge, true) | (Rel::Le, false) => self.assert_lower(v, bound),
-                (Rel::Eq, _) => match self.assert_lower(v, bound) {
+                (Rel::Le, true) | (Rel::Ge, false) => self.assert_upper_tagged(v, bound, tag),
+                (Rel::Ge, true) | (Rel::Le, false) => self.assert_lower_tagged(v, bound, tag),
+                (Rel::Eq, _) => match self.assert_lower_tagged(v, bound, tag) {
                     LpResult::Infeasible => LpResult::Infeasible,
                     // assert_lower never times out (no pivoting).
-                    _ => self.assert_upper(v, bound),
+                    _ => self.assert_upper_tagged(v, bound, tag),
                 },
             };
         }
         let slack = self.slack_for(expr);
         let bound = -constant;
         match c.rel() {
-            Rel::Le => self.assert_upper(slack, bound),
-            Rel::Ge => self.assert_lower(slack, bound),
-            Rel::Eq => match self.assert_lower(slack, bound) {
+            Rel::Le => self.assert_upper_tagged(slack, bound, tag),
+            Rel::Ge => self.assert_lower_tagged(slack, bound, tag),
+            Rel::Eq => match self.assert_lower_tagged(slack, bound, tag) {
                 LpResult::Infeasible => LpResult::Infeasible,
                 // assert_lower never times out (no pivoting).
-                _ => self.assert_upper(slack, bound),
+                _ => self.assert_upper_tagged(slack, bound, tag),
             },
         }
     }
@@ -577,8 +648,17 @@ impl Simplex {
     /// cycling).
     pub fn check(&mut self) -> LpResult {
         // Bounds asserted while conflicting (assert_* returned Infeasible)
-        // leave lower > upper somewhere; the counter tracks that.
-        if self.conflicts > 0 {
+        // leave lower > upper somewhere; the stack tracks exactly which.
+        if !self.conflict_stack.is_empty() {
+            // Harvest both sides of every live bound conflict: the tags
+            // recorded at assert time may predate the caller's last
+            // clear_conflict_tags.
+            for i in 0..self.conflict_stack.len() {
+                let st = &self.vars[self.conflict_stack[i].index()];
+                let (lt, ut) = (st.lower_tag, st.upper_tag);
+                self.conflict_tags.extend(lt);
+                self.conflict_tags.extend(ut);
+            }
             return LpResult::Infeasible;
         }
         let mut next_poll = self.pivots + DEADLINE_STRIDE;
@@ -641,7 +721,35 @@ impl Simplex {
                     // xi left the basis at exactly its violated bound.
                     self.suspect.remove(&xi);
                 }
-                None => return LpResult::Infeasible,
+                None => {
+                    // The terminal row is a Farkas certificate: the
+                    // violated bound of the basic variable plus, for each
+                    // non-basic variable in the row, the bound blocking
+                    // movement in the helpful direction. Record their
+                    // provenance tags for UNSAT-core extraction.
+                    let xi = self.rows[r].basic;
+                    let xi_tag = if need_increase {
+                        self.vars[xi.index()].lower_tag
+                    } else {
+                        self.vars[xi.index()].upper_tag
+                    };
+                    self.conflict_tags.extend(xi_tag);
+                    let row_tags: Vec<u32> = self.rows[r]
+                        .coeffs
+                        .iter()
+                        .filter_map(|&(xj, a)| {
+                            let st = &self.vars[xj.index()];
+                            let blocks_at_upper = a.is_positive() == need_increase;
+                            if blocks_at_upper {
+                                st.upper_tag
+                            } else {
+                                st.lower_tag
+                            }
+                        })
+                        .collect();
+                    self.conflict_tags.extend(row_tags);
+                    return LpResult::Infeasible;
+                }
             }
         }
     }

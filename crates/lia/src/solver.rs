@@ -3,7 +3,7 @@
 use crate::constraint::Constraint;
 use crate::formula::Formula;
 use crate::intern::{InternStats, Interner};
-use crate::linexpr::Var;
+use crate::linexpr::{LinExpr, Var};
 use crate::model::{Model, SatResult, UnknownReason};
 use crate::rat::Rat;
 use crate::simplex::{LpResult, Simplex};
@@ -47,6 +47,14 @@ pub struct SolverStats {
     pub intern_hits: u64,
     /// Constraint-interner cache misses.
     pub intern_misses: u64,
+    /// Verified minimal UNSAT cores extracted (see [`Solver::unsat_core`]).
+    pub cores_extracted: u64,
+    /// Total members across all extracted cores (divide by
+    /// `cores_extracted` for the average core size).
+    pub core_members: u64,
+    /// Wall-clock microseconds spent in core extraction (verification
+    /// plus deletion minimization).
+    pub core_micros: u64,
 }
 
 impl SolverStats {
@@ -58,8 +66,16 @@ impl SolverStats {
         self.pivots += other.pivots;
         self.intern_hits += other.intern_hits;
         self.intern_misses += other.intern_misses;
+        self.cores_extracted += other.cores_extracted;
+        self.core_members += other.core_members;
+        self.core_micros += other.core_micros;
     }
 }
+
+/// Identifier of a tracked assertion (see [`Solver::assert_tracked`]),
+/// referenced by the cores [`Solver::unsat_core`] returns.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AssertId(pub u32);
 
 struct Budget {
     branch_nodes: u64,
@@ -79,6 +95,9 @@ struct Budget {
 struct Level {
     /// Deferred disjunctions (already in NNF).
     pending: Vec<Formula>,
+    /// Tracked assertions (NNF), kept for UNSAT-core extraction; popped
+    /// with the level.
+    tracked: Vec<(u32, Formula)>,
     /// A trivially false formula was asserted at this level.
     unsat: bool,
 }
@@ -115,6 +134,15 @@ pub struct Solver {
     interner: Interner,
     config: SolverConfig,
     stats: SolverStats,
+    /// Next tracked-assertion identifier (monotone over the solver's
+    /// lifetime, so popped ids never get reused).
+    next_assert_id: u32,
+    /// Variables declared non-negative at construction
+    /// ([`Solver::new_nonneg_var`] / [`Solver::assert_nonneg`]). Their
+    /// `>= 0` bound is *background*: part of every UNSAT-core subset
+    /// check even when a tracked assertion has since tightened (and so
+    /// re-tagged) the live lower bound.
+    nonneg: std::collections::HashSet<Var>,
     /// Rational arithmetic saturated at some point in this solver's
     /// lifetime. Bounds computed from poisoned values may linger in the
     /// tableau across pops, so every subsequent check conservatively
@@ -146,6 +174,8 @@ impl Solver {
             interner: Interner::new(),
             config,
             stats: SolverStats::default(),
+            next_assert_id: 0,
+            nonneg: std::collections::HashSet::new(),
             poisoned: false,
         }
     }
@@ -166,6 +196,7 @@ impl Solver {
         let v = self.new_var(name);
         let r = self.simplex.assert_lower(v, Rat::ZERO);
         debug_assert_eq!(r, LpResult::Feasible);
+        self.nonneg.insert(v);
         v
     }
 
@@ -178,6 +209,7 @@ impl Solver {
     pub fn assert_nonneg(&mut self, v: Var) {
         let _ = self.simplex.assert_lower(v, Rat::ZERO);
         self.simplex.snap_to_integer(v);
+        self.nonneg.insert(v);
     }
 
     /// The name a variable was created with.
@@ -206,10 +238,31 @@ impl Solver {
     /// are deferred to [`Solver::check`].
     pub fn assert(&mut self, f: Formula) {
         let nnf = f.to_nnf();
-        self.assert_nnf(nnf);
+        self.assert_nnf(nnf, None);
     }
 
-    fn assert_nnf(&mut self, f: Formula) {
+    /// Asserts a formula at the current level and returns an [`AssertId`]
+    /// by which [`Solver::unsat_core`] can refer back to it.
+    ///
+    /// The formula is retained (in NNF) until its level is popped.
+    /// Conjunctive content is tagged through to the simplex bounds it
+    /// produces, so bound-level conflicts can name the assertions that
+    /// caused them; disjunctions participate in search untagged and a
+    /// core involving them is simply not reported.
+    pub fn assert_tracked(&mut self, f: Formula) -> AssertId {
+        let id = self.next_assert_id;
+        self.next_assert_id += 1;
+        let nnf = f.to_nnf();
+        self.levels
+            .last_mut()
+            .unwrap()
+            .tracked
+            .push((id, nnf.clone()));
+        self.assert_nnf(nnf, Some(id));
+        AssertId(id)
+    }
+
+    fn assert_nnf(&mut self, f: Formula, tag: Option<u32>) {
         match f {
             Formula::True => {}
             Formula::False => self.levels.last_mut().unwrap().unsat = true,
@@ -218,11 +271,11 @@ impl Solver {
                 // records the conflicting bound on its trail and the
                 // conflict persists (and is reported by check) until the
                 // enclosing level is popped.
-                let _ = self.simplex.assert_constraint(&c);
+                let _ = self.simplex.assert_constraint_tagged(&c, tag);
             }
             Formula::And(fs) => {
                 for g in fs {
-                    self.assert_nnf(g);
+                    self.assert_nnf(g, tag);
                 }
             }
             f @ Formula::Or(_) => self.levels.last_mut().unwrap().pending.push(f),
@@ -233,6 +286,12 @@ impl Solver {
     /// Asserts a single constraint at the current level.
     pub fn assert_constraint(&mut self, c: Constraint) {
         self.assert(Formula::atom(c));
+    }
+
+    /// Asserts a single constraint at the current level, tracked for
+    /// UNSAT-core extraction like [`Solver::assert_tracked`].
+    pub fn assert_constraint_tracked(&mut self, c: Constraint) -> AssertId {
+        self.assert_tracked(Formula::atom(c))
     }
 
     /// Opens a backtracking level.
@@ -275,6 +334,10 @@ impl Solver {
     /// plus branch-and-bound, not to the total assertion count.
     pub fn check(&mut self) -> SatResult {
         self.stats.checks += 1;
+        // Conflict tags accumulate across every infeasibility the search
+        // encounters below; start the union fresh so unsat_core() after
+        // this check sees only the relevant conflicts.
+        self.simplex.clear_conflict_tags();
         if self.levels.iter().any(|l| l.unsat) {
             return SatResult::Unsat;
         }
@@ -497,6 +560,160 @@ impl Solver {
         match (lo, hi) {
             (SatResult::Unknown(r), _) | (_, SatResult::Unknown(r)) => SatResult::Unknown(r),
             _ => SatResult::Unsat,
+        }
+    }
+
+    /// Extracts a minimal UNSAT core over the *tracked* assertions after
+    /// a [`check`](Solver::check) that returned [`SatResult::Unsat`].
+    ///
+    /// The candidate subset is seeded from the Farkas conflict of the
+    /// terminal simplex state: the provenance tags of every bound that
+    /// participated in an infeasibility during the last check (both sides
+    /// of bound conflicts, plus the blocking bounds of terminal pivot
+    /// rows — the dual ray's support). The candidate is then **verified**
+    /// to be genuinely infeasible by replaying it (together with the
+    /// untagged background bounds of its variables) into a fresh scratch
+    /// solver, and shrunk by deletion-based minimization into an
+    /// irreducible infeasible subset: dropping any single member makes
+    /// the remainder feasible.
+    ///
+    /// Returns `None` when no verified core exists — e.g. the conflict
+    /// involves untracked search-time assertions (disjunction branches,
+    /// integrality cuts) or the scratch solve is inconclusive. `None`
+    /// never indicates the problem is satisfiable; it only means no
+    /// certificate could be isolated.
+    pub fn unsat_core(&mut self) -> Option<Vec<AssertId>> {
+        let t0 = std::time::Instant::now();
+        let mut tags: Vec<u32> = self.simplex.conflict_tags().to_vec();
+        tags.sort_unstable();
+        tags.dedup();
+        if tags.is_empty() {
+            return None;
+        }
+        // Only tags of live tracked assertions qualify (a popped
+        // assertion cannot appear in a conflict of the current state).
+        let tracked: std::collections::HashMap<u32, &Formula> = self
+            .levels
+            .iter()
+            .flat_map(|l| l.tracked.iter().map(|(id, f)| (*id, f)))
+            .collect();
+        if tags.iter().any(|t| !tracked.contains_key(t)) {
+            return None;
+        }
+        let mut core = tags;
+        if !(self.subset_unsat(&core, &tracked)?) {
+            // The tagged conflict participants alone are satisfiable: the
+            // infeasibility leaned on untracked state. No certificate.
+            self.stats.core_micros += t0.elapsed().as_micros() as u64;
+            return None;
+        }
+        // Deletion-based minimization: try dropping each member once.
+        let mut i = 0;
+        while i < core.len() && core.len() > 1 {
+            let mut cand = core.clone();
+            cand.remove(i);
+            match self.subset_unsat(&cand, &tracked) {
+                Some(true) => core = cand, // still unsat without member i
+                _ => i += 1,               // member i is necessary (or unknown)
+            }
+        }
+        self.stats.cores_extracted += 1;
+        self.stats.core_members += core.len() as u64;
+        self.stats.core_micros += t0.elapsed().as_micros() as u64;
+        Some(core.into_iter().map(AssertId).collect())
+    }
+
+    /// Whether the conjunction of the given tracked assertions (plus the
+    /// untagged background bounds of their variables) is infeasible,
+    /// decided on a fresh scratch solver with remapped variables.
+    /// `None` = inconclusive.
+    fn subset_unsat(
+        &self,
+        ids: &[u32],
+        tracked: &std::collections::HashMap<u32, &Formula>,
+    ) -> Option<bool> {
+        let mut vars: Vec<Var> = Vec::new();
+        for id in ids {
+            Self::collect_vars(tracked[id], &mut vars);
+        }
+        vars.sort_unstable();
+        vars.dedup();
+        let mut scratch = Solver::with_config(SolverConfig {
+            // The subsets are tiny; small budgets keep a pathological
+            // scratch solve from dominating the caller's own search.
+            max_branch_nodes: 10_000,
+            max_case_splits: 10_000,
+            deadline: self.config.deadline,
+        });
+        let mut map: std::collections::HashMap<Var, Var> = std::collections::HashMap::new();
+        for &v in &vars {
+            let sv = scratch.new_var(self.simplex.var_name(v).to_owned());
+            // Background (untagged) bounds are part of every subset: they
+            // came from variable construction, not from any assertion.
+            // Declared non-negativity survives even when a tracked
+            // assertion has tightened (and re-tagged) the live bound.
+            if self.nonneg.contains(&v) {
+                let _ = scratch.simplex.assert_lower(sv, Rat::ZERO);
+            }
+            if self.simplex.lower_tag(v).is_none() {
+                if let Some(l) = self.simplex.lower(v) {
+                    let _ = scratch.simplex.assert_lower(sv, l);
+                }
+            }
+            if self.simplex.upper_tag(v).is_none() {
+                if let Some(u) = self.simplex.upper(v) {
+                    let _ = scratch.simplex.assert_upper(sv, u);
+                }
+            }
+            map.insert(v, sv);
+        }
+        for id in ids {
+            let f = Self::remap_formula(tracked[id], &map);
+            scratch.assert(f);
+        }
+        match scratch.check() {
+            SatResult::Unsat => Some(true),
+            SatResult::Sat(_) => Some(false),
+            SatResult::Unknown(_) => None,
+        }
+    }
+
+    fn collect_vars(f: &Formula, out: &mut Vec<Var>) {
+        match f {
+            Formula::True | Formula::False => {}
+            Formula::Atom(c) => out.extend(c.expr().iter().map(|(v, _)| v)),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for g in fs {
+                    Self::collect_vars(g, out);
+                }
+            }
+            Formula::Not(inner) => Self::collect_vars(inner, out),
+        }
+    }
+
+    fn remap_formula(f: &Formula, map: &std::collections::HashMap<Var, Var>) -> Formula {
+        match f {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(c) => {
+                let mut expr = LinExpr::constant(c.expr().constant_term());
+                for (v, k) in c.expr().iter() {
+                    expr.add_term(map[&v], k);
+                }
+                let zero = LinExpr::zero();
+                Formula::atom(match c.rel() {
+                    crate::constraint::Rel::Le => Constraint::le(expr, zero),
+                    crate::constraint::Rel::Ge => Constraint::ge(expr, zero),
+                    crate::constraint::Rel::Eq => Constraint::eq(expr, zero),
+                })
+            }
+            Formula::And(fs) => {
+                Formula::And(fs.iter().map(|g| Self::remap_formula(g, map)).collect())
+            }
+            Formula::Or(fs) => {
+                Formula::Or(fs.iter().map(|g| Self::remap_formula(g, map)).collect())
+            }
+            Formula::Not(inner) => Formula::Not(Box::new(Self::remap_formula(inner, map))),
         }
     }
 
@@ -746,6 +963,9 @@ mod tests {
             pivots: 4,
             intern_hits: 5,
             intern_misses: 6,
+            cores_extracted: 7,
+            core_members: 8,
+            core_micros: 9,
         };
         let b = SolverStats {
             checks: 10,
@@ -754,10 +974,67 @@ mod tests {
             pivots: 40,
             intern_hits: 50,
             intern_misses: 60,
+            cores_extracted: 70,
+            core_members: 80,
+            core_micros: 90,
         };
         a.merge(&b);
         assert_eq!(a.checks, 11);
         assert_eq!(a.pivots, 44);
         assert_eq!(a.intern_misses, 66);
+        assert_eq!(a.cores_extracted, 77);
+        assert_eq!(a.core_members, 88);
+        assert_eq!(a.core_micros, 99);
+    }
+
+    #[test]
+    fn unsat_core_isolates_conflicting_pair() {
+        let mut s = Solver::new();
+        let x = s.new_nonneg_var("x");
+        let y = s.new_nonneg_var("y");
+        let a = s.assert_constraint_tracked(Constraint::ge(LinExpr::var(x), LinExpr::constant(5)));
+        let _b = s.assert_constraint_tracked(Constraint::ge(LinExpr::var(y), LinExpr::constant(1)));
+        let c = s.assert_constraint_tracked(Constraint::le(LinExpr::var(x), LinExpr::constant(3)));
+        assert!(s.check().is_unsat());
+        let core = s.unsat_core().expect("bound conflict must yield a core");
+        assert_eq!(
+            core,
+            vec![a, c],
+            "core must name exactly the conflicting pair"
+        );
+        assert_eq!(s.stats().cores_extracted, 1);
+        assert_eq!(s.stats().core_members, 2);
+    }
+
+    #[test]
+    fn unsat_core_from_terminal_pivot_row() {
+        // x + y >= 10, x <= 3, y <= 4: infeasible only via the row, not
+        // via any single-variable bound conflict.
+        let mut s = Solver::new();
+        let x = s.new_nonneg_var("x");
+        let y = s.new_nonneg_var("y");
+        let a = s.assert_constraint_tracked(Constraint::ge(
+            e(&[(x, 1), (y, 1)], 0),
+            LinExpr::constant(10),
+        ));
+        let b = s.assert_constraint_tracked(Constraint::le(LinExpr::var(x), LinExpr::constant(3)));
+        let c = s.assert_constraint_tracked(Constraint::le(LinExpr::var(y), LinExpr::constant(4)));
+        let _d = s.assert_constraint_tracked(Constraint::ge(LinExpr::var(x), LinExpr::constant(1)));
+        assert!(s.check().is_unsat());
+        let core = s.unsat_core().expect("row conflict must yield a core");
+        assert_eq!(core, vec![a, b, c]);
+    }
+
+    #[test]
+    fn unsat_core_scoped_to_level() {
+        let mut s = Solver::new();
+        let x = s.new_nonneg_var("x");
+        let a = s.assert_constraint_tracked(Constraint::ge(LinExpr::var(x), LinExpr::constant(5)));
+        s.push();
+        let b = s.assert_constraint_tracked(Constraint::le(LinExpr::var(x), LinExpr::constant(2)));
+        assert!(s.check().is_unsat());
+        assert_eq!(s.unsat_core().unwrap(), vec![a, b]);
+        s.pop();
+        assert!(s.check().is_sat());
     }
 }

@@ -53,6 +53,11 @@ pub struct KillConfig {
     /// cells persist across kills of the process and are skipped on
     /// the next run.
     pub checkpoint: Option<PathBuf>,
+    /// Farkas-core learning and pruning in the checker (see
+    /// [`CheckerConfig::core_pruning`]). On by default; the kill-rate
+    /// acceptance tests flip it off to prove the matrix is identical
+    /// either way.
+    pub core_pruning: bool,
 }
 
 impl Default for KillConfig {
@@ -62,6 +67,7 @@ impl Default for KillConfig {
             time_budget: Duration::from_secs(30),
             max_schemas: 20_000,
             checkpoint: None,
+            core_pruning: true,
         }
     }
 }
@@ -145,6 +151,7 @@ pub fn run_kill_matrix(
         max_schemas: config.max_schemas,
         time_budget: Some(config.time_budget),
         threads: Some(1),
+        core_pruning: config.core_pruning,
         ..CheckerConfig::default()
     });
 

@@ -38,7 +38,9 @@ use holistic_ta::{Config, RuleId};
 use crate::failure::{FailureKind, Rung};
 
 /// The on-disk format version; bumped on any incompatible change.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// Version 2 added learned core patterns to exploration snapshots and
+/// the core-extraction counters to solver/query statistics.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// Errors from opening or reading a checkpoint.
 #[derive(Debug)]
@@ -233,7 +235,7 @@ impl Checkpoint {
                 body,
                 "{sep}\n    {{\"automaton\": \"{}\", \"globally_empty\": {}, \
                  \"initially\": \"{}\", \"copies\": {}, \"complete\": {}, \
-                 \"feasible\": {}, \"infeasible\": {}}}",
+                 \"feasible\": {}, \"infeasible\": {}, \"cores\": {}}}",
                 s.automaton,
                 usize_array(&s.globally_empty),
                 escape(&s.initially),
@@ -241,6 +243,7 @@ impl Checkpoint {
                 s.complete,
                 chains_array(&s.feasible),
                 chains_array(&s.infeasible),
+                cores_array(&s.cores),
             );
         }
         body.push_str("\n  ]\n}\n");
@@ -274,6 +277,7 @@ impl Checkpoint {
                 complete: get_bool(e, "complete")?,
                 feasible: get_chains(e, "feasible")?,
                 infeasible: get_chains(e, "infeasible")?,
+                cores: get_cores(e, "cores")?,
             });
         }
         Ok(out)
@@ -335,6 +339,14 @@ fn chains_array(chains: &[Vec<u64>]) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// Core patterns `(mask, delta)` as an array of two-element arrays,
+/// with the same number encoding (and the same sub-2^53 assumption) as
+/// the context masks inside feasible/infeasible chains.
+fn cores_array(cores: &[(u64, u64)]) -> String {
+    let items: Vec<String> = cores.iter().map(|&(m, d)| format!("[{m},{d}]")).collect();
+    format!("[{}]", items.join(","))
+}
+
 fn duration_json(d: Duration) -> String {
     format!(
         "{{\"secs\": {}, \"nanos\": {}}}",
@@ -385,9 +397,11 @@ fn stats_json(s: &QueryStats) -> String {
     format!(
         "{{\"schemas\": {}, \"avg_segments\": {}, \"duration\": {}, \"capped\": {}, \
          \"timed_out\": {}, \"strategy\": \"{}\", \"cache_hits\": {}, \"cache_misses\": {}, \
-         \"replayed\": {}, \"threads\": {}, \"solver\": {{\"checks\": {}, \
+         \"replayed\": {}, \"cores_learned\": {}, \"schemas_pruned_by_core\": {}, \
+         \"threads\": {}, \"solver\": {{\"checks\": {}, \
          \"branch_nodes\": {}, \"case_splits\": {}, \"pivots\": {}, \"intern_hits\": {}, \
-         \"intern_misses\": {}}}}}",
+         \"intern_misses\": {}, \"cores_extracted\": {}, \"core_members\": {}, \
+         \"core_micros\": {}}}}}",
         s.schemas,
         f64_exact(s.avg_segments),
         duration_json(s.duration),
@@ -397,6 +411,8 @@ fn stats_json(s: &QueryStats) -> String {
         s.cache_hits,
         s.cache_misses,
         s.replayed,
+        s.cores_learned,
+        s.schemas_pruned_by_core,
         s.threads,
         s.solver.checks,
         s.solver.branch_nodes,
@@ -404,6 +420,9 @@ fn stats_json(s: &QueryStats) -> String {
         s.solver.pivots,
         s.solver.intern_hits,
         s.solver.intern_misses,
+        s.solver.cores_extracted,
+        s.solver.core_members,
+        s.solver.core_micros,
     )
 }
 
@@ -508,6 +527,16 @@ fn get_i64_array(j: &Json, key: &str) -> Result<Vec<i64>, CheckpointError> {
         .collect()
 }
 
+fn get_cores(j: &Json, key: &str) -> Result<Vec<(u64, u64)>, CheckpointError> {
+    get_chains(j, key)?
+        .into_iter()
+        .map(|pair| match pair[..] {
+            [m, d] => Ok((m, d)),
+            _ => Err(malformed(key)),
+        })
+        .collect()
+}
+
 fn get_chains(j: &Json, key: &str) -> Result<Vec<Vec<u64>>, CheckpointError> {
     j.get(key)
         .and_then(Json::as_array)
@@ -600,10 +629,15 @@ fn stats_from(j: &Json) -> Result<QueryStats, CheckpointError> {
             pivots: get_u64_number(solver, "pivots")?,
             intern_hits: get_u64_number(solver, "intern_hits")?,
             intern_misses: get_u64_number(solver, "intern_misses")?,
+            cores_extracted: get_u64_number(solver, "cores_extracted")?,
+            core_members: get_u64_number(solver, "core_members")?,
+            core_micros: get_u64_number(solver, "core_micros")?,
         },
         cache_hits: get_u64_number(j, "cache_hits")?,
         cache_misses: get_u64_number(j, "cache_misses")?,
         replayed: get_bool(j, "replayed")?,
+        cores_learned: get_u64_number(j, "cores_learned")?,
+        schemas_pruned_by_core: get_u64_number(j, "schemas_pruned_by_core")?,
         threads: get_u64_number(j, "threads")? as usize,
     })
 }
@@ -664,17 +698,27 @@ pub fn reports_equivalent(a: &CheckReport, b: &CheckReport) -> bool {
         })
 }
 
-/// [`QueryStats`] equality modulo the `duration` field.
+/// [`QueryStats`] equality modulo wall-clock measurements: the
+/// `duration` field and the solver's `core_micros` (the one timing
+/// counter inside [`SolverStats`]).
 pub fn stats_equivalent(a: &QueryStats, b: &QueryStats) -> bool {
+    let solver_equivalent = {
+        let (mut x, mut y) = (a.solver, b.solver);
+        x.core_micros = 0;
+        y.core_micros = 0;
+        x == y
+    };
     a.schemas == b.schemas
         && a.avg_segments == b.avg_segments
         && a.capped == b.capped
         && a.timed_out == b.timed_out
         && a.strategy == b.strategy
-        && a.solver == b.solver
+        && solver_equivalent
         && a.cache_hits == b.cache_hits
         && a.cache_misses == b.cache_misses
         && a.replayed == b.replayed
+        && a.cores_learned == b.cores_learned
+        && a.schemas_pruned_by_core == b.schemas_pruned_by_core
         && a.threads == b.threads
 }
 
@@ -729,10 +773,15 @@ mod tests {
                                 pivots: 999,
                                 intern_hits: 1,
                                 intern_misses: 4,
+                                cores_extracted: 2,
+                                core_members: 7,
+                                core_micros: 314,
                             },
                             cache_hits: 3,
                             cache_misses: 4,
                             replayed: false,
+                            cores_learned: 2,
+                            schemas_pruned_by_core: 5,
                             threads: 1,
                         },
                     },
@@ -749,6 +798,8 @@ mod tests {
                             cache_hits: 0,
                             cache_misses: 0,
                             replayed: true,
+                            cores_learned: 0,
+                            schemas_pruned_by_core: 0,
                             threads: 8,
                         },
                     },
@@ -799,6 +850,7 @@ mod tests {
             copies: 2,
             feasible: vec![vec![0], vec![0, 2]],
             infeasible: vec![vec![1]],
+            cores: vec![(0, 1), (2, 4)],
             complete: true,
         }];
         cp.save_cache(&snapshots).unwrap();

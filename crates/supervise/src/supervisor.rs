@@ -510,6 +510,8 @@ fn unknown_report(message: String) -> CheckReport {
                 cache_hits: 0,
                 cache_misses: 0,
                 replayed: false,
+                cores_learned: 0,
+                schemas_pruned_by_core: 0,
                 threads: 1,
             },
         }],

@@ -294,6 +294,107 @@ fn violation_counterexamples_are_identical() {
     );
 }
 
+/// Runs every property with Farkas-core pruning on and off and asserts
+/// the reports are observably identical — pruning is licensed only by
+/// UNSAT certificates, so it must never change a verdict, a schema
+/// count, or a counterexample, only the SMT work spent getting there.
+fn assert_core_pruning_inert(
+    ta: &ThresholdAutomaton,
+    specs: &[(&'static str, Ltl)],
+    justice: &Justice,
+) -> u64 {
+    let pruning = checker(true, 100_000);
+    let plain = Checker::with_config(CheckerConfig {
+        share_exploration: true,
+        threads: Some(1),
+        max_schemas: 100_000,
+        strategy: Strategy::Enumerate,
+        core_pruning: false,
+        ..CheckerConfig::default()
+    });
+    let mut pruned_total = 0;
+    for (name, spec) in specs {
+        let with_cores = pruning.check_ltl(ta, spec, justice).expect("in fragment");
+        let without = plain.check_ltl(ta, spec, justice).expect("in fragment");
+        assert_eq!(
+            format!("{:?}", with_cores.verdict()),
+            format!("{:?}", without.verdict()),
+            "{name}: verdicts (incl. counterexamples) must be byte-identical \
+             with core pruning on vs off"
+        );
+        assert_eq!(
+            with_cores.total_schemas(),
+            without.total_schemas(),
+            "{name}: core pruning must not change the schema count"
+        );
+        assert_eq!(
+            with_cores.avg_segments(),
+            without.avg_segments(),
+            "{name}: core pruning must not change average schema length"
+        );
+        assert_eq!(
+            without.total_cores_learned(),
+            0,
+            "{name}: the disabled side must not learn cores"
+        );
+        pruned_total += with_cores.total_schemas_pruned_by_core();
+    }
+    pruned_total
+}
+
+#[test]
+fn core_pruning_is_inert_on_bv_broadcast() {
+    let model = BvBroadcastModel::new();
+    let justice = model.justice();
+    let pruned = assert_core_pruning_inert(&model.ta, &model.table2_specs(), &justice);
+    assert!(
+        pruned > 0,
+        "bv-broadcast must actually exercise core pruning"
+    );
+}
+
+#[test]
+fn core_pruning_is_inert_on_simplified_consensus() {
+    if skip_slow("core_pruning_is_inert_on_simplified_consensus") {
+        return;
+    }
+    let model = SimplifiedConsensusModel::new();
+    let justice = model.justice();
+    let pruned = assert_core_pruning_inert(&model.ta, &model.table2_specs(), &justice);
+    assert!(
+        pruned > 0,
+        "simplified consensus must actually exercise core pruning"
+    );
+}
+
+#[test]
+fn core_pruning_preserves_counterexamples() {
+    // Weakened resilience n > 2t: Inv1_0 is violated. The pruned and
+    // unpruned explorations must find (and replay) the *same*
+    // counterexample — a pattern that swallowed the violating schema
+    // would surface here as a verdict flip.
+    let model = SimplifiedConsensusModel::with_resilience(2);
+    let justice = model.justice();
+    let spec = model.inv1(0);
+    let pruned = checker(true, 100_000)
+        .check_ltl(&model.ta, &spec, &justice)
+        .expect("in fragment");
+    let plain = Checker::with_config(CheckerConfig {
+        threads: Some(1),
+        core_pruning: false,
+        ..CheckerConfig::default()
+    });
+    let unpruned = plain
+        .check_ltl(&model.ta, &spec, &justice)
+        .expect("in fragment");
+    assert!(pruned.verdict().is_violated(), "Inv1_0 under n > 2t");
+    assert_eq!(
+        format!("{:?}", pruned.verdict()),
+        format!("{:?}", unpruned.verdict()),
+        "counterexamples must be byte-identical with core pruning on vs off"
+    );
+}
+
 #[test]
 fn second_property_hits_the_cache() {
     // The cheap pair from the simplified-consensus block: after Inv2_0

@@ -32,9 +32,17 @@ fn bv_corpus_clears_the_kill_gate() {
     );
 
     // The headline acceptance criterion: >= 90% caught, zero vacuous
-    // kills (gate() fails on any unconfirmed counterexample).
+    // kills (gate() fails on any unconfirmed counterexample). The
+    // documented rate for this corpus is exactly 30/33 = 90.9%, with
+    // Farkas-core pruning at its default (enabled) — a drop OR a rise
+    // means the verifier's discriminating power silently changed.
     matrix.gate(0.9).unwrap_or_else(|e| panic!("{e}"));
     assert!(matrix.unconfirmed_kills().is_empty());
+    assert_eq!(
+        (matrix.caught_rate() * 1000.0).round() as u64,
+        909,
+        "bv corpus caught rate drifted from the documented 90.9%"
+    );
 
     // Every kill is concretely confirmed: the killing cells carry the
     // witness parameters and replayed trace of the confirmation.
@@ -102,6 +110,11 @@ fn simplified_corpus_clears_the_kill_gate() {
         &test_config(),
     );
     matrix.gate(0.9).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(
+        (matrix.caught_rate() * 1000.0).round() as u64,
+        909,
+        "simplified corpus caught rate drifted from the documented 90.9%"
+    );
 
     // The paper's §6 experiment is in the corpus and killed by
     // agreement: weakening n > 3t to n > 2t breaks Inv1.
@@ -116,4 +129,42 @@ fn simplified_corpus_clears_the_kill_gate() {
         "res.gt2t killed by {:?}, expected agreement",
         weakened.killed_by
     );
+}
+
+/// Farkas-core pruning is a pure search optimization: switching it off
+/// must reproduce the exact same kill matrix — same per-mutant
+/// outcomes, same killing properties, same caught rate. A divergence
+/// here means a learned pattern pruned a schema it had no licence to.
+#[test]
+fn core_pruning_does_not_change_the_kill_matrix() {
+    let (model, corpus) = bv_broadcast_corpus();
+    let properties = bv_kill_properties(&model);
+    let with_pruning = run_kill_matrix(
+        "bv_broadcast",
+        &corpus,
+        &properties,
+        Justice::from_rules,
+        &test_config(),
+    );
+    let without_pruning = run_kill_matrix(
+        "bv_broadcast",
+        &corpus,
+        &properties,
+        Justice::from_rules,
+        &KillConfig {
+            core_pruning: false,
+            ..test_config()
+        },
+    );
+
+    assert_eq!(with_pruning.caught_rate(), without_pruning.caught_rate());
+    for (on, off) in with_pruning
+        .results
+        .iter()
+        .zip(without_pruning.results.iter())
+    {
+        assert_eq!(on.id, off.id);
+        assert_eq!(on.outcome, off.outcome, "{}: outcome diverged", on.id);
+        assert_eq!(on.killed_by, off.killed_by, "{}: killers diverged", on.id);
+    }
 }
