@@ -192,6 +192,20 @@ fn run_matrix(
         if explain {
             explain_prunes(&checker, "bv-broadcast", &bv.ta);
             explain_prunes(&checker, "simplified-consensus", &sc.ta);
+            for ((automaton, name), report) in labels.iter().zip(&reports) {
+                if let Ok(report) = report {
+                    let s = report.solver_stats();
+                    eprintln!(
+                        "  [explain-prunes] {automaton}/{name}: {} propagation(s), \
+                         {} presolve refutation(s), {} pervasive conflict(s), \
+                         {} disjunct(s) skipped",
+                        s.propagations,
+                        s.propagation_refutations,
+                        s.learned_conflicts,
+                        s.disjuncts_skipped
+                    );
+                }
+            }
         }
         let rows = labels
             .into_iter()
@@ -295,8 +309,18 @@ fn explain_prunes(checker: &Checker, label: &str, ta: &holistic_ta::ThresholdAut
         eprintln!("  [explain-prunes] {label}: no learned core patterns");
         return;
     }
-    // Most general first: fewer guards to unlock, larger context mask.
-    cores.sort_by_key(|&(m, d)| (d.count_ones(), std::cmp::Reverse(m.count_ones()), d, m));
+    // Most general first: fewer guards to unlock, fewer guards that
+    // must be held, larger context mask.
+    cores.sort_by_key(|&(m, h, d)| {
+        (
+            d.count_ones(),
+            h.count_ones(),
+            std::cmp::Reverse(m.count_ones()),
+            d,
+            h,
+            m,
+        )
+    });
     let info = holistic_checker::GuardInfo::analyse(ta).expect("guard analysis");
     let render_guard = |gi: usize| -> String {
         let g = &info.guards[gi];
@@ -333,8 +357,11 @@ fn explain_prunes(checker: &Checker, label: &str, ta: &holistic_ta::ThresholdAut
         cores.len(),
         cores.len().min(EXPLAIN_TOP)
     );
-    for (i, &(m, d)) in cores.iter().take(EXPLAIN_TOP).enumerate() {
+    for (i, &(m, h, d)) in cores.iter().take(EXPLAIN_TOP).enumerate() {
         eprintln!("    #{:<2} under contexts within {}", i + 1, render_mask(m));
+        if h != 0 {
+            eprintln!("        having already unlocked {}", render_mask(h));
+        }
         eprintln!("        cannot newly unlock {}", render_mask(d));
     }
 }
@@ -416,6 +443,22 @@ fn emit(
         let _ = writeln!(out, "        \"branch_nodes\": {},", s.branch_nodes);
         let _ = writeln!(out, "        \"case_splits\": {},", s.case_splits);
         let _ = writeln!(out, "        \"pivots\": {},", s.pivots);
+        let _ = writeln!(out, "        \"propagations\": {},", s.propagations);
+        let _ = writeln!(
+            out,
+            "        \"propagation_refutations\": {},",
+            s.propagation_refutations
+        );
+        let _ = writeln!(
+            out,
+            "        \"learned_conflicts\": {},",
+            s.learned_conflicts
+        );
+        let _ = writeln!(
+            out,
+            "        \"disjuncts_skipped\": {},",
+            s.disjuncts_skipped
+        );
         let _ = writeln!(out, "        \"intern_hits\": {},", s.intern_hits);
         let _ = writeln!(out, "        \"intern_misses\": {},", s.intern_misses);
         let _ = writeln!(out, "        \"cores_extracted\": {},", s.cores_extracted);

@@ -550,8 +550,8 @@ impl Checker {
     ) -> Result<QueryReport, CheckError> {
         let copies = plan.witnesses.len() + 1;
         let key = ExplorationKey::new(ta, &plan.globally_empty, &plan.initially, copies);
-        // Core patterns learned while exploring the skeleton are part
-        // of this query's work; fold them into its statistics.
+        // Core patterns learned while exploring the base are part of
+        // this query's work; fold them into its statistics.
         let mut skeleton_cores_learned = 0u64;
         let mut skeleton_pruned_by_core = 0u64;
         let mode = if self.config.share_exploration {
@@ -559,12 +559,19 @@ impl Checker {
                 CacheMode::Replay(exp)
             } else {
                 let mut pruner = self.cache.pruner_for(&key);
-                if pruner.is_none() && !key.is_skeleton() {
+                if pruner.is_none() && key != key.base() {
                     // Nothing recorded for this automaton yet: explore
-                    // the weakest base once (no query checks) so this
-                    // and every later property can prune against it.
-                    // Shares the query's deadline; a truncated skeleton
-                    // still prunes, it just isn't replayable.
+                    // its *base* once — the skeleton at ONE segment
+                    // copy, the most transferable recording possible
+                    // (see [`ExplorationKey::base`]). Single-copy
+                    // queries of the automaton replay or prune against
+                    // it directly; multi-copy queries inherit its
+                    // feasible verdicts (they transfer upward in
+                    // copies) and its core patterns (copies-
+                    // independent), leaving only the residual
+                    // infeasible checks the patterns miss. Shares the
+                    // query's deadline; a truncated base still prunes,
+                    // it just isn't replayable.
                     let trivially = Prop::True;
                     let spec = ExploreSpec {
                         ta,
@@ -572,7 +579,7 @@ impl Checker {
                         globally_empty: &[],
                         initially: &trivially,
                         query: None,
-                        copies,
+                        copies: 1,
                         deadline,
                         mode: CacheMode::Record { pruner: None },
                     };
@@ -580,8 +587,7 @@ impl Checker {
                     let covered = out.fully_covered();
                     skeleton_cores_learned = out.cores_learned;
                     skeleton_pruned_by_core = out.pruned_by_core;
-                    self.cache
-                        .insert(out.recorder.finish(key.skeleton(), covered));
+                    self.cache.insert(out.recorder.finish(key.base(), covered));
                     pruner = self.cache.pruner_for(&key);
                 }
                 CacheMode::Record { pruner }
@@ -996,6 +1002,8 @@ struct Worker<'a> {
 /// speed — verdicts, schema counts, and counterexamples are unchanged.
 const REBUILD_ROWS: usize = 768;
 
+// TEMP PROFILING
+
 impl<'a> Worker<'a> {
     fn new(ex: &'a Explore<'a>) -> Worker<'a> {
         Worker {
@@ -1140,6 +1148,12 @@ impl<'a> Worker<'a> {
                     self.pruned_by_core += 1;
                     self.recorder.record(chain, false);
                     false
+                } else if pruner.as_ref().is_some_and(|p| p.feasible_chain(chain)) {
+                    // Feasible under a stronger base with no more
+                    // copies ⇒ the recorded witness transfers here.
+                    self.cache_hits += 1;
+                    self.recorder.record(chain, true);
+                    true
                 } else {
                     let feasible = self.smt_feasibility(enc, chain, true);
                     if !feasible {
@@ -1152,9 +1166,46 @@ impl<'a> Worker<'a> {
         }
     }
 
+    /// No-solver pruning of an extension *before* its segments are
+    /// pushed: recorded verdicts, transferred infeasibility, and
+    /// learned core patterns all decide on the chain alone, so
+    /// consulting them first saves the dominant per-extension cost
+    /// (pushing and later popping `copies` segments of tableau rows)
+    /// for every pruned subtree. Exactly mirrors the corresponding
+    /// arms of [`Worker::feasibility`] — including recording and
+    /// counters — so verdicts and replay behave identically; a chain
+    /// pruned here simply never reaches `recurse`, which would have
+    /// pruned it anyway.
+    fn prune_before_push(&mut self, chain: &[u64]) -> bool {
+        match &self.ex.spec.mode {
+            CacheMode::Replay(exp) => {
+                if exp.verdict(chain) == Some(false) {
+                    self.cache_hits += 1;
+                    return true;
+                }
+            }
+            CacheMode::Record { pruner } => {
+                if pruner.as_ref().is_some_and(|p| p.prunes_chain(chain)) {
+                    self.cache_hits += 1;
+                    self.recorder.record(chain, false);
+                    return true;
+                }
+                if self.core_prunes(chain) {
+                    self.cache_hits += 1;
+                    self.pruned_by_core += 1;
+                    self.recorder.record(chain, false);
+                    return true;
+                }
+            }
+            CacheMode::Off => {}
+        }
+        false
+    }
+
     /// Whether a learned core pattern subsumes this chain's final
     /// extension step (previous context ⊆ some pattern mask, pattern
-    /// delta ⊆ the newly unlocked set).
+    /// delta ⊆ the newly unlocked set, pattern held ⊆ previous
+    /// context).
     fn core_prunes(&self, chain: &[u64]) -> bool {
         let Some(cores) = &self.ex.cores else {
             return false;
@@ -1166,6 +1217,16 @@ impl<'a> Worker<'a> {
             0
         };
         cores.read().unwrap().prunes(prev, last & !prev)
+    }
+
+    /// The case-split planner's bias bits: guards recurring in the
+    /// exploration's learned core patterns (empty when core pruning is
+    /// off). See [`Encoding::set_hot_guards`].
+    fn core_hot_guards(&self) -> u64 {
+        self.ex
+            .cores
+            .as_ref()
+            .map_or(0, |c| c.read().unwrap().hot_guard_bits())
     }
 
     /// After a fresh `Unsat`, tries to distill a generalized core
@@ -1196,7 +1257,7 @@ impl<'a> Worker<'a> {
         if newly == 0 || !self.ex.probed.lock().unwrap().insert((prev, newly)) {
             return;
         }
-        let Some((mask, delta)) = self.probe_core_pattern(prev, newly) else {
+        let Some((mask, held, delta)) = self.probe_core_pattern(prev, newly) else {
             return;
         };
         debug_assert_eq!(
@@ -1204,13 +1265,18 @@ impl<'a> Worker<'a> {
             "pattern mask must be the refuted step's prefix context"
         );
         debug_assert_eq!(
+            held & !prev,
+            0,
+            "held guards must come from the refuted step's prefix context"
+        );
+        debug_assert_eq!(
             delta & !newly,
             0,
             "pattern delta must lie within the refuted step's newly unlocked guards"
         );
         let cores = self.ex.cores.as_ref().expect("checked above");
-        if cores.write().unwrap().insert(mask, delta) {
-            self.recorder.record_core(mask, delta);
+        if cores.write().unwrap().insert(mask, held, delta) {
+            self.recorder.record_core(mask, held, delta);
             self.cores_learned += 1;
         }
     }
@@ -1248,6 +1314,7 @@ impl<'a> Worker<'a> {
         let started = Instant::now();
         let spec = self.ex.spec;
         let mut probe = self.fresh_encoding();
+        probe.set_hot_guards(self.core_hot_guards());
         probe.push_probe_segment(ctx);
         probe.push_query();
         probe.assert_tail_exact();
@@ -1265,7 +1332,7 @@ impl<'a> Worker<'a> {
     /// fresh base encoding. Only the certificate counters (plus the
     /// probe's wall time) are folded into this worker's statistics: the
     /// probe is certificate machinery, not lattice search.
-    fn probe_core_pattern(&mut self, prev: u64, newly: u64) -> Option<(u64, u64)> {
+    fn probe_core_pattern(&mut self, prev: u64, newly: u64) -> Option<(u64, u64, u64)> {
         let started = Instant::now();
         let mut enc = self.fresh_encoding();
         let pattern = enc.probe_core_pattern(prev, newly);
@@ -1354,6 +1421,10 @@ impl<'a> Worker<'a> {
                 // it, so the per-schema check is dischargeable.
                 self.pruned_by_core += 1;
             } else {
+                // Seed the case-split planner with the guards the
+                // learned certificates keep refuting, so any boundary
+                // disjunction the query emits fronts those branches.
+                enc.set_hot_guards(self.core_hot_guards());
                 enc.push_query();
                 enc.assert_tail_exact();
                 plan.assert_query(enc, spec.info);
@@ -1391,6 +1462,12 @@ impl<'a> Worker<'a> {
             }
             let next = ctx | sub;
             if spec.info.can_unlock_set(sub, ctx) && spec.info.is_closed(next) {
+                chain.push(next);
+                let pruned = self.prune_before_push(chain);
+                chain.pop();
+                if pruned {
+                    continue;
+                }
                 if ex.threads > 1
                     && ex.idle.load(Ordering::Relaxed) > 0
                     && !ex.stop.load(Ordering::Relaxed)

@@ -76,6 +76,16 @@ pub enum Provenance {
         /// Guard index in [`GuardInfo`] order.
         guard: usize,
     },
+    /// Probe-only: a guard already unlocked in the probed prefix
+    /// context, asserted to (still) hold at the probe's final boundary.
+    /// Sound for monotone rise guards only — increment-only updates
+    /// and non-negative guard coefficients mean the condition never
+    /// decays once crossed (see
+    /// [`Encoding::probe_core_pattern`]).
+    GuardHeld {
+        /// Guard index in [`GuardInfo`] order.
+        guard: usize,
+    },
 }
 
 /// How a segment's context is handled.
@@ -133,6 +143,11 @@ pub struct Encoding<'a> {
     /// assertions are query-specific, not structural, and are left
     /// untracked — they never participate in feasibility cores.
     in_query: bool,
+    /// Case-split planner bias: guard bits that recur in learned
+    /// Farkas-certificate core patterns (the union of their `held` and
+    /// `delta` components), set by the checker as cores are learned.
+    /// See [`plan_disjuncts`](Encoding::plan_disjuncts).
+    hot_guards: u64,
 }
 
 impl<'a> Encoding<'a> {
@@ -210,6 +225,7 @@ impl<'a> Encoding<'a> {
             query_forms: Vec::new(),
             provenance,
             in_query: false,
+            hot_guards: 0,
         }
     }
 
@@ -538,10 +554,68 @@ impl<'a> Encoding<'a> {
         }
     }
 
-    /// Asserts that a proposition holds at *some* boundary.
+    /// Asserts that a proposition holds at *some* boundary, with the
+    /// disjuncts ordered by [`plan_disjuncts`](Encoding::plan_disjuncts).
     pub fn assert_prop_somewhere(&mut self, prop: &Prop) {
-        let f = Formula::or((0..self.num_boundaries()).map(|b| self.prop_at(prop, b)));
+        let forms: Vec<Formula> = (0..self.num_boundaries())
+            .map(|b| self.prop_at(prop, b))
+            .collect();
+        let order = self.plan_disjuncts(&forms);
+        let f = Formula::or(order.into_iter().map(|b| forms[b].clone()));
         self.solver.assert(f);
+    }
+
+    /// Seeds the case-split planner with the guard bits that recur in
+    /// learned core patterns (`held | delta` over the pattern set).
+    pub fn set_hot_guards(&mut self, bits: u64) {
+        self.hot_guards = bits;
+    }
+
+    /// The **case-split planner**: decides the order in which the
+    /// per-boundary disjuncts of a `somewhere` assertion reach the
+    /// solver. The solver refutes disjuncts in the order given and its
+    /// pervasive-conflict learning skips whole sibling suffixes once a
+    /// branch-independent refutation is found, so fronting the branches
+    /// that are cheapest to refute short-circuits the split. Two keys,
+    /// most significant first:
+    ///
+    /// 1. **Learned activity** (descending): atoms that appeared in
+    ///    recent refutation cores ([`Solver::formula_activity`]) are the
+    ///    likeliest to be refuted immediately again.
+    /// 2. **Certificate heat** (descending): boundaries whose segment
+    ///    context contains guards recurring in learned Farkas core
+    ///    patterns ([`set_hot_guards`](Encoding::set_hot_guards)) break
+    ///    ties before any in-solver conflict has been seen.
+    ///
+    /// Remaining ties keep boundary order, so with no learned state the
+    /// planner is the identity and the emitted disjunction is exactly
+    /// the syntactic one. Ordering never affects soundness — a
+    /// disjunction is order-independent — only which branch the solver
+    /// explores (and learns from) first.
+    fn plan_disjuncts(&self, forms: &[Formula]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..forms.len()).collect();
+        if self.hot_guards == 0 && forms.iter().all(|f| self.solver.formula_activity(f) == 0.0) {
+            return order;
+        }
+        let heat = |b: usize| -> u32 {
+            // Boundary `b` sits after segment `b - 1`; its unlocked set
+            // is that segment's context (boundary 0 predates every
+            // unlock).
+            match b.checked_sub(1).map(|i| self.segments[i]) {
+                Some(SegmentKind::Fixed(ctx)) => (ctx & self.hot_guards).count_ones(),
+                _ => 0,
+            }
+        };
+        order.sort_by(|&a, &b| {
+            let act_a = self.solver.formula_activity(&forms[a]);
+            let act_b = self.solver.formula_activity(&forms[b]);
+            act_b
+                .partial_cmp(&act_a)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| heat(b).cmp(&heat(a)))
+                .then_with(|| a.cmp(&b))
+        });
+        order
     }
 
     /// Registers a query proposition once per exploration, returning its
@@ -581,7 +655,9 @@ impl<'a> Encoding<'a> {
     /// registered query prop, reusing the cached per-boundary encodings.
     pub fn assert_query_prop_somewhere(&mut self, slot: usize) {
         let n = self.num_boundaries();
-        let f = Formula::or((0..n).map(|b| self.query_form(slot, b)));
+        let forms: Vec<Formula> = (0..n).map(|b| self.query_form(slot, b)).collect();
+        let order = self.plan_disjuncts(&forms);
+        let f = Formula::or(order.into_iter().map(|b| forms[b].clone()));
         self.solver.assert(f);
     }
 
@@ -649,7 +725,11 @@ impl<'a> Encoding<'a> {
                     delta |= 1 << *guard;
                 }
                 // Position-specific: pinned to this exact chain.
-                Provenance::GuardEntry { .. } | Provenance::LockedFalse { .. } => return None,
+                // (`GuardHeld` never appears in chain encodings, only
+                // in probes; refuse it defensively all the same.)
+                Provenance::GuardEntry { .. }
+                | Provenance::LockedFalse { .. }
+                | Provenance::GuardHeld { .. } => return None,
             }
         }
         // A core that never mentions the new unlock cannot blame the
@@ -664,26 +744,42 @@ impl<'a> Encoding<'a> {
     /// Probes the **generalized** infeasibility of one extension step,
     /// independent of any particular chain: from a valid initial
     /// distribution, fire any multiset of rules available under `prev`,
-    /// and demand that `newly`'s guards hold at the resulting boundary.
+    /// assert that `prev`'s own (monotone) guard conditions hold at the
+    /// resulting boundary, and demand that `newly`'s guards hold there
+    /// too. Returns a **tri-pattern** `(mask, held, Δ)` meaning
     ///
-    /// This is the least-constrained system the core-pattern semantics
-    /// quantifies over. Any feasible attempt a pattern `(prev, Δ ⊆
-    /// newly)` would prune yields a solution of this system — the
-    /// attempt's pre-final firings all sit in contexts `⊆ prev`, so
+    /// > no chain whose contexts are all `⊆ mask` and whose final
+    /// > context contains `held` can be extended by a step newly
+    /// > unlocking `Δ` (or any superset).
+    ///
+    /// This is the least-constrained system the tri-pattern semantics
+    /// quantifies over. Any feasible attempt with previous context
+    /// `held ⊆ P ⊆ mask` and unlock set `⊇ Δ` yields a solution: the
+    /// attempt's pre-final firings all sit in contexts `⊆ P ⊆ mask`, so
     /// they aggregate into the single probe segment exactly as in the
     /// [`unsat_core_pattern`](Encoding::unsat_core_pattern) transfer
-    /// argument — so `Unsat` here licenses the pattern outright. The
-    /// probe's own Farkas certificate supplies the minimal `Δ`: since
-    /// no boundary constraint besides the unlock is ever asserted,
-    /// every core member carries `Param`/`Init`/`Avail`/`GuardEntry`
-    /// provenance and the projection cannot be pinned to one chain the
-    /// way a full chain's certificate can.
+    /// argument, and the probe boundary carries the attempt's own
+    /// final-boundary shared values. Each `held` guard is satisfied
+    /// there **by monotonicity**: `held ⊆ P` means the attempt asserted
+    /// the guard at its unlock boundary, updates only ever increment
+    /// shared counters, and held guards are restricted to `≥` guards
+    /// with non-negative counter coefficients — so once crossed the
+    /// condition persists to every later boundary, the final one
+    /// included. Hence `Unsat` licenses the tri-pattern outright.
+    ///
+    /// The probe's Farkas certificate supplies the minimal `held` and
+    /// `Δ` (only certificate members are kept, so the pattern is as
+    /// general as this probe can prove): `held = 0` degenerates to the
+    /// pair-pattern of earlier revisions, while a non-zero `held`
+    /// captures the parametric conflicts — final-boundary threshold
+    /// clashes between an already-crossed guard and the newly demanded
+    /// one — that the unstrengthened probe reports as satisfiable.
     ///
     /// Must be called on a base encoding (no segments pushed, no query
     /// asserts); consumes the encoding's solver state. Returns `None`
     /// when the probe is satisfiable, the certificate is unavailable,
     /// or `newly` is empty.
-    pub fn probe_core_pattern(&mut self, prev: u64, newly: u64) -> Option<(u64, u64)> {
+    pub fn probe_core_pattern(&mut self, prev: u64, newly: u64) -> Option<(u64, u64, u64)> {
         debug_assert!(
             self.segments.is_empty() && !self.in_query,
             "the probe needs a pristine base encoding"
@@ -703,7 +799,22 @@ impl<'a> Encoding<'a> {
         self.push_body(SegmentKind::Fixed(ctx));
     }
 
-    fn probe_core_pattern_inner(&mut self, prev: u64, newly: u64) -> Option<(u64, u64)> {
+    /// Guards whose truth is monotone along any run: `≥` comparisons
+    /// whose counter coefficients are all non-negative. Increment-only
+    /// updates make every shared counter non-decreasing, so such a
+    /// guard can only flip false → true. (Fall guards are rejected
+    /// upstream, but mixed-sign coefficients must be excluded here.)
+    fn monotone_guards(&self) -> u64 {
+        let mut mask = 0u64;
+        for (gi, g) in self.info.guards.iter().enumerate() {
+            if g.cmp == holistic_ta::GuardCmp::Ge && g.lhs.iter().all(|(_, c)| c >= 0) {
+                mask |= 1 << gi;
+            }
+        }
+        mask
+    }
+
+    fn probe_core_pattern_inner(&mut self, prev: u64, newly: u64) -> Option<(u64, u64, u64)> {
         if newly == 0 {
             return None;
         }
@@ -711,6 +822,7 @@ impl<'a> Encoding<'a> {
             self.push_body(SegmentKind::Fixed(prev));
         }
         let boundary = self.segments.len();
+        let monotone = self.monotone_guards();
         let info = self.info;
         for (gi, g) in info.guards.iter().enumerate() {
             if newly & (1 << gi) != 0 {
@@ -723,25 +835,39 @@ impl<'a> Encoding<'a> {
                         guard: gi,
                     },
                 );
+            } else if prev & monotone & (1 << gi) != 0 {
+                // An already-unlocked monotone guard still holds at the
+                // final boundary of any attempt whose previous context
+                // contains it; asserting it sharpens the probe without
+                // narrowing what a `held`-conditioned pattern prunes.
+                let c = self.guard_at_interned(g, boundary);
+                let id = self.solver.assert_tracked(Formula::atom(c));
+                self.provenance
+                    .insert(id.0, Provenance::GuardHeld { guard: gi });
             }
         }
         if !matches!(self.solver.check(), SatResult::Unsat) {
             return None;
         }
         let core = self.solver.unsat_core()?;
+        let mut held = 0u64;
         let mut delta = 0u64;
         for id in core {
-            if let Provenance::GuardEntry { guard, .. } = self.provenance.get(&id.0)? {
-                delta |= 1 << *guard;
+            match self.provenance.get(&id.0)? {
+                Provenance::GuardEntry { guard, .. } => delta |= 1 << *guard,
+                Provenance::GuardHeld { guard } => held |= 1 << *guard,
+                _ => {}
             }
         }
         // Without the unlock asserts the system is satisfiable (fire
-        // nothing), so a sound core must mention them; refuse to learn
-        // from one that does not rather than over-prune.
+        // nothing — the `held` asserts alone are met by some feasible
+        // prefix, or no such prefix survives to attempt the step), so a
+        // sound core must mention them; refuse to learn from one that
+        // does not rather than over-prune.
         if delta == 0 {
             return None;
         }
-        Some((prev, delta))
+        Some((prev, held, delta))
     }
 
     /// Solver statistics.

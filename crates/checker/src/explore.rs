@@ -103,6 +103,22 @@ impl ExplorationKey {
         self.globally_empty.is_empty() && self.initially == format!("{:?}", Prop::True)
     }
 
+    /// The automaton's *base* key: the skeleton at **one** segment
+    /// copy. This is the most transferable recording possible — its
+    /// core patterns transfer everywhere
+    /// ([`transfers_cores`](ExplorationKey::transfers_cores)), its
+    /// feasible verdicts feed every *skeleton* query at any copies
+    /// ([`feeds_feasible`](ExplorationKey::feeds_feasible)), and its
+    /// infeasible verdicts prune every single-copy query
+    /// ([`prunes`](ExplorationKey::prunes)) — while also being the
+    /// cheapest to record (smallest tableau).
+    pub fn base(&self) -> ExplorationKey {
+        ExplorationKey {
+            copies: 1,
+            ..self.skeleton()
+        }
+    }
+
     /// Whether an exploration recorded under `self` soundly transfers
     /// its *infeasible* verdicts to a query keyed `other`:
     /// same automaton, weaker-or-equal constraints, at least as many
@@ -116,27 +132,67 @@ impl ExplorationKey {
                 .iter()
                 .all(|l| other.globally_empty.contains(l))
     }
+
+    /// Whether core patterns recorded under `self` soundly transfer to
+    /// a query keyed `other`. Unlike chain verdicts, patterns are
+    /// **copies-independent**: the probe system they certify collapses
+    /// *any* number of segments into one (see
+    /// [`Encoding::probe_core_pattern`](crate::Encoding::probe_core_pattern)),
+    /// so only the base constraints must be weaker-or-equal — the same
+    /// conditions as [`prunes`](ExplorationKey::prunes) minus the
+    /// copies comparison.
+    pub fn transfers_cores(&self, other: &ExplorationKey) -> bool {
+        self.automaton == other.automaton
+            && (self.initially == other.initially || self.initially == format!("{:?}", Prop::True))
+            && self
+                .globally_empty
+                .iter()
+                .all(|l| other.globally_empty.contains(l))
+    }
+
+    /// Whether *feasible* verdicts recorded under `self` soundly
+    /// transfer to a query keyed `other` — the mirror image of
+    /// [`prunes`](ExplorationKey::prunes): a witness run stays valid
+    /// when constraints are *dropped* (so `other`'s base must be
+    /// weaker-or-equal) and when *extra* segment copies are available
+    /// (the witness shifts each context's factors into the **last**
+    /// copy; interior boundaries then carry the context's entry values,
+    /// where the locked-guard-false constraints already held, and the
+    /// entry boundary keeps its original guard-unlock values).
+    pub fn feeds_feasible(&self, other: &ExplorationKey) -> bool {
+        self.automaton == other.automaton
+            && self.copies <= other.copies
+            && (self.initially == other.initially || other.initially == format!("{:?}", Prop::True))
+            && other
+                .globally_empty
+                .iter()
+                .all(|l| self.globally_empty.contains(l))
+    }
 }
 
-/// A learned infeasibility pattern `(mask, delta)`, distilled from a
-/// Farkas-certificate UNSAT core (see
-/// [`Encoding::unsat_core_pattern`](crate::Encoding::unsat_core_pattern)):
-/// *no* chain of the exploration whose contexts are all `⊆ mask` can be
-/// feasibly extended by a step that newly unlocks `delta` (or any
-/// superset of it). Patterns generalize single infeasible chains to
-/// whole sublattices, which is what lets one SMT refutation prune many
-/// schemas.
+/// A learned infeasibility tri-pattern `(mask, held, delta)`, distilled
+/// from a Farkas-certificate UNSAT core (see
+/// [`Encoding::probe_core_pattern`](crate::Encoding::probe_core_pattern)):
+/// *no* chain of the exploration whose contexts are all `⊆ mask` and
+/// whose final context contains `held` can be feasibly extended by a
+/// step that newly unlocks `delta` (or any superset of it). `held = 0`
+/// is the unconditional pattern of earlier revisions; a non-zero `held`
+/// records that the certificate additionally relied on an
+/// already-crossed monotone guard still holding at the final boundary.
+/// Patterns generalize single infeasible chains to whole sublattices,
+/// which is what lets one SMT refutation prune many schemas.
 ///
-/// The set keeps only maximally general patterns: `(m, d)` subsumes
-/// `(m', d')` when `m' ⊆ m` and `d ⊆ d'` (a larger context mask prunes
-/// more prefixes, a smaller delta prunes more extensions). Lookups are
-/// indexed by the lowest set bit of `delta` — a pattern can only match
-/// an attempt whose newly-unlocked set contains that bit — so the hot
-/// `prunes` path scans a few small buckets instead of every pattern.
+/// The set keeps only maximally general patterns: `(m, h, d)` subsumes
+/// `(m', h', d')` when `m' ⊆ m`, `h ⊆ h'` and `d ⊆ d'` (a larger
+/// context mask prunes more prefixes; a smaller held set and a smaller
+/// delta each prune more extensions). Lookups are indexed by the lowest
+/// set bit of `delta` — a pattern can only match an attempt whose
+/// newly-unlocked set contains that bit — so the hot `prunes` path
+/// scans a few small buckets instead of every pattern.
 #[derive(Debug, Default, Clone)]
 pub struct CorePatternSet {
     /// Patterns bucketed by `delta.trailing_zeros()`.
-    buckets: HashMap<u32, Vec<(u64, u64)>>,
+    buckets: HashMap<u32, Vec<(u64, u64, u64)>>,
     len: usize,
 }
 
@@ -157,10 +213,23 @@ impl CorePatternSet {
     }
 
     /// All stored patterns, sorted for deterministic output.
-    pub fn patterns(&self) -> Vec<(u64, u64)> {
-        let mut out: Vec<(u64, u64)> = self.buckets.values().flatten().copied().collect();
+    pub fn patterns(&self) -> Vec<(u64, u64, u64)> {
+        let mut out: Vec<(u64, u64, u64)> = self.buckets.values().flatten().copied().collect();
         out.sort_unstable();
         out
+    }
+
+    /// The union of guard bits appearing in any pattern's `held` or
+    /// `delta` — the guards that recur in Farkas certificates. Feeds
+    /// the checker's case-split planner
+    /// ([`Encoding::set_hot_guards`](crate::Encoding::set_hot_guards)):
+    /// boundaries entered on these guards are the most promising
+    /// branches to refute first.
+    pub fn hot_guard_bits(&self) -> u64 {
+        self.buckets
+            .values()
+            .flatten()
+            .fold(0, |acc, &(_, h, d)| acc | h | d)
     }
 
     /// Inserts a learned pattern, keeping the set subsumption-reduced.
@@ -168,17 +237,20 @@ impl CorePatternSet {
     /// caller should not count it as newly learned). `delta = 0` is
     /// rejected outright: it would claim *every* extension of `mask`
     /// prefixes infeasible, which the certificate never establishes.
-    pub fn insert(&mut self, mask: u64, delta: u64) -> bool {
+    pub fn insert(&mut self, mask: u64, held: u64, delta: u64) -> bool {
         if delta == 0 {
             return false;
         }
+        debug_assert_eq!(held & !mask, 0, "held guards must lie inside the mask");
         // Subsumed by an existing pattern? Its delta is a subset of
         // ours, so its lowest bit is one of our delta's bits.
         let mut bits = delta;
         while bits != 0 {
             let b = bits.trailing_zeros();
             if let Some(v) = self.buckets.get(&b) {
-                if v.iter().any(|&(m, d)| mask & !m == 0 && d & !delta == 0) {
+                if v.iter()
+                    .any(|&(m, h, d)| mask & !m == 0 && h & !held == 0 && d & !delta == 0)
+                {
                     return false;
                 }
             }
@@ -190,26 +262,41 @@ impl CorePatternSet {
         for (&b, v) in self.buckets.iter_mut() {
             if b <= tz {
                 let before = v.len();
-                v.retain(|&(m, d)| !(m & !mask == 0 && delta & !d == 0));
+                v.retain(|&(m, h, d)| !(m & !mask == 0 && held & !h == 0 && delta & !d == 0));
                 self.len -= before - v.len();
             }
         }
-        self.buckets.entry(tz).or_default().push((mask, delta));
+        self.buckets
+            .entry(tz)
+            .or_default()
+            .push((mask, held, delta));
         self.len += 1;
         true
     }
 
     /// Whether some pattern prunes an extension attempt: the prefix's
     /// final context is `prev`, and the step would newly unlock
-    /// `newly`. True when a stored `(m, d)` has `prev ⊆ m` and
+    /// `newly`. True when a stored `(m, h, d)` has `h ⊆ prev ⊆ m` and
     /// `d ⊆ newly` — by monotonicity every earlier context of the
-    /// prefix is also `⊆ m`, so the attempt embeds the pattern.
+    /// prefix is also `⊆ m`, and every `h` guard, being unlocked in
+    /// `prev`, still holds at the prefix's final boundary, so the
+    /// attempt embeds the pattern.
     pub fn prunes(&self, prev: u64, newly: u64) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let matches =
+            |&(m, h, d): &(u64, u64, u64)| prev & !m == 0 && h & !prev == 0 && d & !newly == 0;
+        // With fewer patterns than `newly` bits the per-bit bucket
+        // lookups cost more than they save; scan the patterns directly.
+        if self.len as u32 <= newly.count_ones() {
+            return self.buckets.values().flatten().any(matches);
+        }
         let mut bits = newly;
         while bits != 0 {
             let b = bits.trailing_zeros();
             if let Some(v) = self.buckets.get(&b) {
-                if v.iter().any(|&(m, d)| prev & !m == 0 && d & !newly == 0) {
+                if v.iter().any(matches) {
                     return true;
                 }
             }
@@ -232,7 +319,7 @@ pub struct Exploration {
     /// Core patterns learned while recording (sorted, deduplicated).
     /// They transfer under exactly the same [`ExplorationKey::prunes`]
     /// monotonicity as infeasible verdicts.
-    cores: Vec<(u64, u64)>,
+    cores: Vec<(u64, u64, u64)>,
     /// Whether the whole lattice was covered with definite verdicts
     /// (no cap, timeout, violation stop, or unknown). Only complete
     /// explorations may be replayed; incomplete ones still prune.
@@ -261,7 +348,7 @@ impl Exploration {
     }
 
     /// Core patterns learned while this exploration was recorded.
-    pub fn cores(&self) -> &[(u64, u64)] {
+    pub fn cores(&self) -> &[(u64, u64, u64)] {
         &self.cores
     }
 
@@ -342,8 +429,8 @@ pub struct ExplorationSnapshot {
     pub feasible: Vec<Vec<u64>>,
     /// Infeasible chains in canonical order.
     pub infeasible: Vec<Vec<u64>>,
-    /// Learned core patterns `(mask, delta)` in canonical order.
-    pub cores: Vec<(u64, u64)>,
+    /// Learned core patterns `(mask, held, delta)` in canonical order.
+    pub cores: Vec<(u64, u64, u64)>,
     /// Whether the recording covers the whole lattice.
     pub complete: bool,
 }
@@ -355,7 +442,7 @@ pub struct ExplorationSnapshot {
 pub struct Recorder {
     nodes: Vec<(Vec<u64>, bool)>,
     /// Core patterns learned by this recorder's worker.
-    cores: Vec<(u64, u64)>,
+    cores: Vec<(u64, u64, u64)>,
     /// Set when a feasibility check returned `Unknown`: the node's
     /// verdict is missing, so the exploration cannot be complete.
     pub saw_unknown: bool,
@@ -372,10 +459,10 @@ impl Recorder {
         self.nodes.push((chain.to_vec(), feasible));
     }
 
-    /// Records a learned core pattern `(mask, delta)` so it persists
-    /// with the finished exploration (and through checkpoints).
-    pub fn record_core(&mut self, mask: u64, delta: u64) {
-        self.cores.push((mask, delta));
+    /// Records a learned core pattern `(mask, held, delta)` so it
+    /// persists with the finished exploration (and through checkpoints).
+    pub fn record_core(&mut self, mask: u64, held: u64, delta: u64) {
+        self.cores.push((mask, held, delta));
     }
 
     /// Merges another recorder (e.g. a worker's) into this one.
@@ -421,6 +508,14 @@ impl Recorder {
 #[derive(Debug, Default)]
 pub struct Pruner {
     sources: Vec<Arc<Exploration>>,
+    /// Sources whose core patterns transfer
+    /// ([`ExplorationKey::transfers_cores`]) — a superset of `sources`
+    /// along the copies axis, since patterns are copies-independent.
+    core_sources: Vec<Arc<Exploration>>,
+    /// Sources whose *feasible* verdicts transfer
+    /// ([`ExplorationKey::feeds_feasible`]): recorded under a
+    /// stronger-or-equal base with no more copies.
+    feasible_sources: Vec<Arc<Exploration>>,
 }
 
 impl Pruner {
@@ -432,23 +527,35 @@ impl Pruner {
         self.sources.iter().any(|e| e.verdict(chain) == Some(false))
     }
 
+    /// Whether any source recorded under a stronger-or-equal base with
+    /// no more copies recorded `chain` as feasible: its witness run
+    /// transfers verbatim (see [`ExplorationKey::feeds_feasible`]), so
+    /// the chain is feasible here without an SMT check. Sound in
+    /// exactly the opposite direction from `prunes_chain` — the two can
+    /// never both answer for one chain.
+    pub fn feasible_chain(&self, chain: &[u64]) -> bool {
+        self.feasible_sources
+            .iter()
+            .any(|e| e.verdict(chain) == Some(true))
+    }
+
     /// Number of contributing recordings.
     pub fn num_sources(&self) -> usize {
         self.sources.len()
     }
 
-    /// All core patterns carried by the sources, subsumption-reduced.
-    /// Transfer is sound for exactly the reason chain verdicts
-    /// transfer ([`ExplorationKey::prunes`]): every source was recorded
-    /// under a weaker-or-equal base with at least as many copies, so a
-    /// certificate's members (resilience, init distribution,
-    /// availability, entry guard) are all present — and an attempt at
-    /// fewer copies zero-pads into the recorded shape.
+    /// All core patterns carried by the core sources,
+    /// subsumption-reduced. Every source was recorded under a
+    /// weaker-or-equal base, so a certificate's members (resilience,
+    /// init distribution, availability, entry/held guard) are all
+    /// present in the target encoding; segment copies don't matter
+    /// because the certified probe system collapses any number of
+    /// segments into one ([`ExplorationKey::transfers_cores`]).
     pub fn core_patterns(&self) -> CorePatternSet {
         let mut set = CorePatternSet::new();
-        for e in &self.sources {
-            for &(m, d) in e.cores() {
-                set.insert(m, d);
+        for e in &self.core_sources {
+            for &(m, h, d) in e.cores() {
+                set.insert(m, h, d);
             }
         }
         set
@@ -505,20 +612,29 @@ impl ExplorationCache {
     /// if nothing recorded applies.
     pub fn pruner_for(&self, key: &ExplorationKey) -> Option<Pruner> {
         let mut sources: Vec<Arc<Exploration>> = Vec::new();
+        let mut core_sources: Vec<Arc<Exploration>> = Vec::new();
+        let mut feasible_sources: Vec<Arc<Exploration>> = Vec::new();
         for shard in &self.shards {
-            sources.extend(
-                shard
-                    .lock()
-                    .unwrap()
-                    .values()
-                    .filter(|e| e.key().prunes(key))
-                    .cloned(),
-            );
+            for e in shard.lock().unwrap().values() {
+                if e.key().prunes(key) {
+                    sources.push(e.clone());
+                }
+                if e.key().transfers_cores(key) {
+                    core_sources.push(e.clone());
+                }
+                if e.key().feeds_feasible(key) {
+                    feasible_sources.push(e.clone());
+                }
+            }
         }
-        if sources.is_empty() {
+        if sources.is_empty() && core_sources.is_empty() && feasible_sources.is_empty() {
             None
         } else {
-            Some(Pruner { sources })
+            Some(Pruner {
+                sources,
+                core_sources,
+                feasible_sources,
+            })
         }
     }
 
@@ -537,14 +653,14 @@ impl ExplorationCache {
     /// All learned core patterns recorded for `ta`, aggregated over
     /// every base encoding and subsumption-reduced, in canonical
     /// order. Diagnostic surface for `--explain-prunes`.
-    pub fn cores_for(&self, ta: &ThresholdAutomaton) -> Vec<(u64, u64)> {
+    pub fn cores_for(&self, ta: &ThresholdAutomaton) -> Vec<(u64, u64, u64)> {
         let fp = fingerprint(ta);
         let mut set = CorePatternSet::new();
         for shard in &self.shards {
             for e in shard.lock().unwrap().values() {
                 if e.key.automaton == fp {
-                    for &(m, d) in e.cores() {
-                        set.insert(m, d);
+                    for &(m, h, d) in e.cores() {
+                        set.insert(m, h, d);
                     }
                 }
             }
@@ -626,6 +742,81 @@ mod tests {
     }
 
     #[test]
+    fn core_transfer_is_copies_independent() {
+        // Core patterns argue over probe aggregates, never over the
+        // number of per-segment copies: a weaker-or-equal base donates
+        // its patterns to any copies count.
+        let donor = key(&[0], &Prop::True, 1);
+        let taker = key(&[0, 3], &Prop::loc_empty(LocationId(1)), 4);
+        assert!(donor.transfers_cores(&taker));
+        let fewer = key(&[0], &Prop::True, 2);
+        assert!(donor.transfers_cores(&fewer));
+        // Trivial `initially` also transfers to a constrained one...
+        let trivial = key(&[], &Prop::True, 1);
+        assert!(trivial.transfers_cores(&taker));
+        // ...but a *stronger* base must not donate to a weaker target.
+        assert!(!taker.transfers_cores(&donor));
+        let other_init = key(&[0], &Prop::loc_empty(LocationId(2)), 1);
+        assert!(
+            !other_init.transfers_cores(&taker),
+            "incomparable initially"
+        );
+        let mut foreign = donor.clone();
+        foreign.automaton = 7;
+        assert!(!foreign.transfers_cores(&taker), "different automaton");
+    }
+
+    #[test]
+    fn feasible_verdicts_transfer_upward_in_copies_only() {
+        // A feasible chain recorded at k copies shifts its factors into
+        // the last copy of any wider query — but never narrows.
+        let donor = key(&[0, 3], &Prop::True, 1);
+        let wider = key(&[0], &Prop::True, 3);
+        assert!(donor.feeds_feasible(&wider));
+        assert!(donor.feeds_feasible(&donor.clone()));
+        let narrower = key(&[0], &Prop::True, 1);
+        let at_two = key(&[0, 3], &Prop::True, 2);
+        assert!(!at_two.feeds_feasible(&narrower), "downward is unsound");
+        // The donor's base must be stronger-or-equal: its feasible
+        // witnesses satisfy every constraint the target imposes.
+        let weak_donor = key(&[], &Prop::True, 1);
+        assert!(
+            !weak_donor.feeds_feasible(&wider),
+            "donor weaker than target"
+        );
+        let init_donor = key(&[0], &Prop::loc_empty(LocationId(1)), 1);
+        let trivial_target = key(&[0], &Prop::True, 2);
+        assert!(
+            init_donor.feeds_feasible(&trivial_target),
+            "constrained initially feeds a trivial target"
+        );
+        assert!(
+            !narrower.feeds_feasible(&key(&[0], &Prop::loc_empty(LocationId(1)), 2)),
+            "trivial initially must not feed a constrained target"
+        );
+    }
+
+    #[test]
+    fn base_is_the_single_copy_skeleton() {
+        let k = key(&[0, 3], &Prop::loc_empty(LocationId(1)), 4);
+        let base = k.base();
+        assert!(base.is_skeleton());
+        assert_eq!(base.copies, 1);
+        // Core patterns donate to every key of the automaton; chain
+        // verdicts prune single-copy queries and feed skeleton queries
+        // upward.
+        assert!(base.transfers_cores(&k));
+        assert!(base.prunes(&key(&[0], &Prop::True, 1)));
+        assert!(base.feeds_feasible(&key(&[], &Prop::True, 4)));
+        assert!(
+            !base.feeds_feasible(&k),
+            "a skeleton witness need not satisfy a constrained base"
+        );
+        // Idempotent.
+        assert_eq!(base.base(), base);
+    }
+
+    #[test]
     fn recorder_canonical_order_is_scheduling_independent() {
         let k = key(&[], &Prop::True, 1);
         let mut a = Recorder::new();
@@ -665,21 +856,24 @@ mod tests {
     #[test]
     fn core_pattern_set_subsumption_and_matching() {
         let mut s = CorePatternSet::new();
-        assert!(!s.insert(0b1, 0)); // delta 0 rejected
-        assert!(s.insert(0b011, 0b100));
+        assert!(!s.insert(0b1, 0, 0)); // delta 0 rejected
+        assert!(s.insert(0b011, 0, 0b100));
         assert_eq!(s.len(), 1);
         // Subsumed: smaller mask, larger delta.
-        assert!(!s.insert(0b001, 0b110));
+        assert!(!s.insert(0b001, 0, 0b110));
+        assert_eq!(s.len(), 1);
+        // Subsumed: same mask/delta, more demanding held set.
+        assert!(!s.insert(0b011, 0b001, 0b100));
         assert_eq!(s.len(), 1);
         // Subsumes the stored pattern: larger mask, same delta.
-        assert!(s.insert(0b111, 0b100));
+        assert!(s.insert(0b111, 0, 0b100));
         assert_eq!(s.len(), 1);
-        assert_eq!(s.patterns(), vec![(0b111, 0b100)]);
+        assert_eq!(s.patterns(), vec![(0b111, 0, 0b100)]);
         // Incomparable pattern coexists.
-        assert!(s.insert(0b1000, 0b10));
+        assert!(s.insert(0b1000, 0, 0b10));
         assert_eq!(s.len(), 2);
 
-        // (0b111, 0b100) prunes: prev ⊆ 0b111 and 0b100 ⊆ newly.
+        // (0b111, 0, 0b100) prunes: prev ⊆ 0b111 and 0b100 ⊆ newly.
         assert!(s.prunes(0b011, 0b100));
         assert!(s.prunes(0, 0b1100));
         assert!(!s.prunes(0b1011, 0b100), "prev outside mask");
@@ -690,22 +884,44 @@ mod tests {
     }
 
     #[test]
+    fn held_conditioned_patterns_require_held_in_prev() {
+        let mut s = CorePatternSet::new();
+        assert!(s.insert(0b111, 0b010, 0b1000));
+        // Matching needs held ⊆ prev ⊆ mask.
+        assert!(s.prunes(0b011, 0b1000));
+        assert!(s.prunes(0b111, 0b1100));
+        assert!(!s.prunes(0b001, 0b1000), "held guard not unlocked in prev");
+        assert!(!s.prunes(0b1010, 0b1000), "prev outside mask");
+
+        // A held-free pattern with the same mask/delta subsumes it.
+        assert!(s.insert(0b111, 0, 0b1000));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.patterns(), vec![(0b111, 0, 0b1000)]);
+        assert!(s.prunes(0b001, 0b1000));
+
+        // The direct-scan fast path (fewer patterns than newly bits)
+        // agrees with the bucketed path.
+        assert!(s.prunes(0b001, 0b11111000));
+        assert!(!s.prunes(0b001, 0b110));
+    }
+
+    #[test]
     fn cores_survive_merge_finish_and_snapshot_round_trip() {
         let k = key(&[], &Prop::True, 1);
         let mut a = Recorder::new();
         a.record(&[0b1], true);
-        a.record_core(0b1, 0b10);
+        a.record_core(0b1, 0, 0b10);
         let mut b = Recorder::new();
         b.record(&[0b1, 0b11], false);
-        b.record_core(0b1, 0b10); // duplicate across workers
-        b.record_core(0b11, 0b100);
+        b.record_core(0b1, 0, 0b10); // duplicate across workers
+        b.record_core(0b11, 0b1, 0b100);
         let mut merged = Recorder::new();
         merged.merge(a);
         merged.merge(b);
         let e = merged.finish(k, true);
-        assert_eq!(e.cores(), &[(0b1, 0b10), (0b11, 0b100)]);
+        assert_eq!(e.cores(), &[(0b1, 0, 0b10), (0b11, 0b1, 0b100)]);
         let snap = e.snapshot();
-        assert_eq!(snap.cores, vec![(0b1, 0b10), (0b11, 0b100)]);
+        assert_eq!(snap.cores, vec![(0b1, 0, 0b10), (0b11, 0b1, 0b100)]);
         let back = Exploration::from_snapshot(snap);
         assert_eq!(back.cores(), e.cores());
 

@@ -42,6 +42,7 @@ mod formula;
 mod intern;
 mod linexpr;
 mod model;
+mod propagate;
 mod rat;
 mod simplex;
 mod solver;

@@ -5,6 +5,7 @@ use crate::formula::Formula;
 use crate::intern::{InternStats, Interner};
 use crate::linexpr::{LinExpr, Var};
 use crate::model::{Model, SatResult, UnknownReason};
+use crate::propagate::Propagator;
 use crate::rat::Rat;
 use crate::simplex::{LpResult, Simplex};
 
@@ -20,6 +21,13 @@ pub struct SolverConfig {
     /// [`SatResult::Unknown`] with [`UnknownReason::Deadline`] — never a
     /// wrong Sat/Unsat verdict.
     pub deadline: Option<std::time::Instant>,
+    /// Enables the propagation-first layer: interval presolve before
+    /// any pivoting, interval-based disjunct filtering, pervasive
+    /// conflict learning, and activity-ordered case splits. Off, the
+    /// solver behaves exactly as the plain simplex + DFS pipeline —
+    /// same verdicts, same models, same pivot trajectory (the toggle
+    /// exists so tests can pin that equivalence).
+    pub propagation: bool,
 }
 
 impl Default for SolverConfig {
@@ -28,6 +36,7 @@ impl Default for SolverConfig {
             max_branch_nodes: 200_000,
             max_case_splits: 200_000,
             deadline: None,
+            propagation: true,
         }
     }
 }
@@ -55,6 +64,18 @@ pub struct SolverStats {
     /// Wall-clock microseconds spent in core extraction (verification
     /// plus deletion minimization).
     pub core_micros: u64,
+    /// Interval bounds derived by the propagation presolve.
+    pub propagations: u64,
+    /// Checks (and search nodes) refuted by interval propagation alone,
+    /// before any pivoting.
+    pub propagation_refutations: u64,
+    /// Pervasive conflicts learned: a disjunct's refutation that never
+    /// mentioned the disjunct's own assertions, refuting all remaining
+    /// siblings without re-checking.
+    pub learned_conflicts: u64,
+    /// Disjuncts dropped without a case split — interval-refuted during
+    /// filtering, or skipped under a learned pervasive conflict.
+    pub disjuncts_skipped: u64,
 }
 
 impl SolverStats {
@@ -69,6 +90,10 @@ impl SolverStats {
         self.cores_extracted += other.cores_extracted;
         self.core_members += other.core_members;
         self.core_micros += other.core_micros;
+        self.propagations += other.propagations;
+        self.propagation_refutations += other.propagation_refutations;
+        self.learned_conflicts += other.learned_conflicts;
+        self.disjuncts_skipped += other.disjuncts_skipped;
     }
 }
 
@@ -149,6 +174,18 @@ pub struct Solver {
     /// reports `Unknown` — always sound, and in practice unreachable for
     /// the small-coefficient systems the checker emits.
     poisoned: bool,
+    /// The interval-propagation presolve (see [`crate::propagate`]).
+    /// Mirrors the assertion stack; inactive unless
+    /// [`SolverConfig::propagation`] is set.
+    propagator: Propagator,
+    /// VSIDS-style per-literal activity: atoms bumped each time they
+    /// appear in a conflict (simplex Farkas tags, propagation reasons,
+    /// extracted cores), with geometric decay via `activity_inc`.
+    /// Drives disjunct ordering in [`Solver::branch`] and is exposed to
+    /// the checker's case-split planner through
+    /// [`Solver::formula_activity`].
+    activity: std::collections::HashMap<Constraint, f64>,
+    activity_inc: f64,
 }
 
 impl Default for Solver {
@@ -177,6 +214,9 @@ impl Solver {
             next_assert_id: 0,
             nonneg: std::collections::HashSet::new(),
             poisoned: false,
+            propagator: Propagator::new(),
+            activity: std::collections::HashMap::new(),
+            activity_inc: 1.0,
         }
     }
 
@@ -189,14 +229,18 @@ impl Solver {
 
     /// Allocates an integer variable constrained to be `>= 0`.
     ///
-    /// The bound is recorded at the *current* level; callers that reuse
-    /// the variable after popping past its creation level must re-assert
-    /// the bound (see [`Solver::assert_nonneg`]).
+    /// Non-negativity is *declared*, not asserted: although the live
+    /// simplex bound is recorded at the current level (and so vanishes
+    /// when that level is popped), any later assertion mentioning the
+    /// variable transparently re-asserts the bound first (see
+    /// [`Solver::pop`]) — popping past the creation level can no longer
+    /// silently discard declared bounds of reused variables.
     pub fn new_nonneg_var(&mut self, name: impl Into<String>) -> Var {
         let v = self.new_var(name);
         let r = self.simplex.assert_lower(v, Rat::ZERO);
         debug_assert_eq!(r, LpResult::Feasible);
         self.nonneg.insert(v);
+        self.propagator.note_nonneg(v);
         v
     }
 
@@ -210,6 +254,21 @@ impl Solver {
         let _ = self.simplex.assert_lower(v, Rat::ZERO);
         self.simplex.snap_to_integer(v);
         self.nonneg.insert(v);
+        self.propagator.note_nonneg(v);
+    }
+
+    /// Restores the declared `>= 0` bound of any variable of `c` whose
+    /// live bound was discarded by popping past its creation level.
+    /// Declared non-negativity is background (like in
+    /// [`Solver::subset_unsat`]); reusing a variable must never
+    /// silently run without it.
+    fn reactivate_nonneg(&mut self, c: &Constraint) {
+        for (v, _) in c.expr().iter() {
+            if self.simplex.lower(v).is_none() && self.nonneg.contains(&v) {
+                let _ = self.simplex.assert_lower(v, Rat::ZERO);
+                self.simplex.snap_to_integer(v);
+            }
+        }
     }
 
     /// The name a variable was created with.
@@ -267,11 +326,15 @@ impl Solver {
             Formula::True => {}
             Formula::False => self.levels.last_mut().unwrap().unsat = true,
             Formula::Atom(c) => {
+                self.reactivate_nonneg(&c);
                 // An infeasible result here is not an error: the simplex
                 // records the conflicting bound on its trail and the
                 // conflict persists (and is reported by check) until the
                 // enclosing level is popped.
                 let _ = self.simplex.assert_constraint_tagged(&c, tag);
+                if self.config.propagation {
+                    self.propagator.assert(&c, tag);
+                }
             }
             Formula::And(fs) => {
                 for g in fs {
@@ -298,9 +361,15 @@ impl Solver {
     pub fn push(&mut self) {
         self.levels.push(Level::default());
         self.simplex.push();
+        self.propagator.push();
     }
 
     /// Discards all assertions made since the matching [`push`](Solver::push).
+    ///
+    /// Declared non-negativity ([`Solver::new_nonneg_var`]) survives:
+    /// a variable created inside the popped level loses its live simplex
+    /// bound here, but the bound is re-asserted the moment any later
+    /// assertion mentions the variable again.
     ///
     /// # Panics
     ///
@@ -309,6 +378,7 @@ impl Solver {
         assert!(self.levels.len() > 1, "pop without matching push");
         self.levels.pop();
         self.simplex.pop();
+        self.propagator.pop();
     }
 
     /// `(rows, vars)` of the simplex tableau (a size statistic).
@@ -320,10 +390,86 @@ impl Solver {
     pub fn stats(&self) -> SolverStats {
         let mut s = self.stats;
         s.pivots = self.simplex.pivot_count();
+        s.propagations = self.propagator.propagations;
         let InternStats { hits, misses } = self.interner.stats();
         s.intern_hits = hits;
         s.intern_misses = misses;
         s
+    }
+
+    /// The activity score of the hottest atom of `f` (0.0 for formulas
+    /// whose atoms never appeared in a conflict). The checker's
+    /// case-split planner uses this to order disjunctions it is about to
+    /// assert so the solver meets the historically-refutable cases
+    /// first.
+    pub fn formula_activity(&self, f: &Formula) -> f64 {
+        match f {
+            Formula::True | Formula::False => 0.0,
+            Formula::Atom(c) => self.activity.get(c).copied().unwrap_or(0.0),
+            Formula::And(fs) | Formula::Or(fs) => fs
+                .iter()
+                .map(|g| self.formula_activity(g))
+                .fold(0.0, f64::max),
+            Formula::Not(inner) => self.formula_activity(inner),
+        }
+    }
+
+    /// Bumps the activity of every atom of the tracked assertions named
+    /// by `tags`, then decays (by growing the increment — standard
+    /// VSIDS).
+    fn bump_activity_of_tags(&mut self, tags: &[u32]) {
+        if tags.is_empty() {
+            return;
+        }
+        let mut atoms: Vec<Constraint> = Vec::new();
+        for level in &self.levels {
+            for (id, f) in &level.tracked {
+                if tags.binary_search(id).is_ok() {
+                    Self::collect_atoms(f, &mut atoms);
+                }
+            }
+        }
+        let inc = self.activity_inc;
+        for c in atoms {
+            *self.activity.entry(c).or_insert(0.0) += inc;
+        }
+        self.activity_inc *= 1.05;
+        if self.activity_inc > 1e100 {
+            for v in self.activity.values_mut() {
+                *v *= 1e-100;
+            }
+            self.activity_inc *= 1e-100;
+        }
+    }
+
+    /// Collects the current conflict's tags (simplex Farkas tags plus
+    /// any live propagation conflict) and bumps their atoms.
+    fn bump_conflict_activity(&mut self) {
+        if !self.config.propagation {
+            return;
+        }
+        let mut tags: Vec<u32> = self.simplex.conflict_tags().to_vec();
+        if let Some(cf) = self.propagator.conflict() {
+            if let Some(ts) = &cf.tags {
+                tags.extend_from_slice(ts);
+            }
+        }
+        tags.sort_unstable();
+        tags.dedup();
+        self.bump_activity_of_tags(&tags);
+    }
+
+    fn collect_atoms(f: &Formula, out: &mut Vec<Constraint>) {
+        match f {
+            Formula::True | Formula::False => {}
+            Formula::Atom(c) => out.push(c.clone()),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for g in fs {
+                    Self::collect_atoms(g, out);
+                }
+            }
+            Formula::Not(inner) => Self::collect_atoms(inner, out),
+        }
     }
 
     /// Decides satisfiability of the conjunction of all asserted formulas
@@ -341,6 +487,21 @@ impl Solver {
         if self.levels.iter().any(|l| l.unsat) {
             return SatResult::Unsat;
         }
+        // Interval presolve: propagate the asserted conjunction to a
+        // fixpoint at the *current* level, so derived bounds persist
+        // incrementally across checks. A conflict here refutes the check
+        // without a single pivot.
+        if self.config.propagation && self.propagator.propagate() {
+            if Rat::take_overflow_flag() {
+                self.poisoned = true;
+            }
+            if self.poisoned {
+                return SatResult::Unknown(UnknownReason::RatOverflow);
+            }
+            self.stats.propagation_refutations += 1;
+            self.bump_conflict_activity();
+            return SatResult::Unsat;
+        }
         let goals: Vec<Formula> = self
             .levels
             .iter()
@@ -351,7 +512,9 @@ impl Solver {
             case_splits: self.config.max_case_splits,
         };
         self.simplex.push();
+        self.propagator.push();
         let result = self.search(goals, &mut budget);
+        self.propagator.pop();
         self.simplex.pop();
         // Saturated rational arithmetic (anywhere since the last check:
         // asserts included) poisons the verdict — sound `Unknown` beats
@@ -361,6 +524,9 @@ impl Solver {
         }
         if self.poisoned {
             return SatResult::Unknown(UnknownReason::RatOverflow);
+        }
+        if matches!(result, SatResult::Unsat) {
+            self.bump_conflict_activity();
         }
         result
     }
@@ -379,11 +545,22 @@ impl Solver {
                     if self.simplex.assert_constraint(&c) == LpResult::Infeasible {
                         return SatResult::Unsat;
                     }
+                    if self.config.propagation {
+                        self.propagator.assert(&c, None);
+                    }
                 }
                 Formula::And(fs) => queue.extend(fs),
                 Formula::Or(fs) => disjunctions.push(fs),
                 Formula::Not(_) => unreachable!("search runs on NNF formulas"),
             }
+        }
+        // Interval presolve of this node's conjunction: a propagation
+        // conflict refutes the node before any pivoting — and, when its
+        // reasons predate the current branch, refutes the siblings too
+        // (see `branch`).
+        if self.config.propagation && self.propagator.propagate() {
+            self.stats.propagation_refutations += 1;
+            return SatResult::Unsat;
         }
         // Prune before splitting: if the relaxation of the conjunctive
         // part is already infeasible, no disjunct can rescue it.
@@ -394,6 +571,34 @@ impl Solver {
         }
         if disjunctions.is_empty() {
             return self.branch_and_bound(budget, 0);
+        }
+
+        // Interval-based disjunct filtering: a disjunct violated by
+        // every assignment inside the current variable intervals can
+        // never be chosen, whatever the other disjunctions decide —
+        // drop it without a case split. An emptied disjunction refutes
+        // the node; a disjunction reduced to one disjunct is forced.
+        if self.config.propagation {
+            let mut units: Vec<Formula> = Vec::new();
+            let mut kept_disjunctions: Vec<Vec<Formula>> = Vec::with_capacity(disjunctions.len());
+            for d in disjunctions {
+                let before = d.len();
+                let mut kept: Vec<Formula> = d
+                    .into_iter()
+                    .filter(|f| !self.propagator.refutes_formula(f))
+                    .collect();
+                self.stats.disjuncts_skipped += (before - kept.len()) as u64;
+                match kept.len() {
+                    0 => return SatResult::Unsat,
+                    1 => units.push(kept.pop().unwrap()),
+                    _ => kept_disjunctions.push(kept),
+                }
+            }
+            if !units.is_empty() {
+                units.extend(kept_disjunctions.into_iter().map(Formula::Or));
+                return self.search(units, budget);
+            }
+            disjunctions = kept_disjunctions;
         }
 
         // Disjunct filtering and unit propagation: a disjunct whose
@@ -453,14 +658,39 @@ impl Solver {
     }
 
     /// Case-splits on `first`, carrying `rest` into each branch.
+    ///
+    /// With propagation enabled, two conflict-driven refinements apply.
+    /// Disjuncts are visited in descending *activity* order, so the
+    /// historically conflict-involved (cheap-to-refute) cases go first.
+    /// And after a refuted disjunct, if the propagation conflict's
+    /// reasons all predate this split (its level is at most the level
+    /// this call was entered at), the conflict never mentioned the
+    /// disjunct's own assertions: the *base* conjunction is infeasible,
+    /// so every remaining sibling is refuted by the same conflict and is
+    /// skipped without a check.
     fn branch(
         &mut self,
-        first: Vec<Formula>,
+        mut first: Vec<Formula>,
         rest: Vec<Formula>,
         budget: &mut Budget,
     ) -> SatResult {
+        let base_level = self.propagator.level();
+        if self.config.propagation && first.len() > 1 {
+            let mut scored: Vec<(usize, f64, Formula)> = first
+                .into_iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    let a = self.formula_activity(&f);
+                    (i, a, f)
+                })
+                .collect();
+            // Stable under ties (original order) for determinism.
+            scored.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+            first = scored.into_iter().map(|(_, _, f)| f).collect();
+        }
+        let total = first.len();
         let mut saw_unknown = None;
-        for disjunct in first {
+        for (i, disjunct) in first.into_iter().enumerate() {
             if budget.case_splits == 0 {
                 return SatResult::Unknown(UnknownReason::SplitBudget);
             }
@@ -469,11 +699,26 @@ impl Solver {
             let mut goals = rest.clone();
             goals.push(disjunct);
             self.simplex.push();
+            self.propagator.push();
             let r = self.search(goals, budget);
+            self.propagator.pop();
             self.simplex.pop();
             match r {
                 SatResult::Sat(m) => return SatResult::Sat(m),
-                SatResult::Unsat => {}
+                SatResult::Unsat => {
+                    if self.config.propagation {
+                        if let Some(cf) = self.propagator.conflict() {
+                            if cf.level <= base_level {
+                                // Pervasive conflict: sound even past an
+                                // earlier Unknown — the base conjunction
+                                // itself is infeasible.
+                                self.stats.learned_conflicts += 1;
+                                self.stats.disjuncts_skipped += (total - i - 1) as u64;
+                                return SatResult::Unsat;
+                            }
+                        }
+                    }
+                }
                 SatResult::Unknown(reason) => saw_unknown = Some(reason),
             }
         }
@@ -585,6 +830,13 @@ impl Solver {
     pub fn unsat_core(&mut self) -> Option<Vec<AssertId>> {
         let t0 = std::time::Instant::now();
         let mut tags: Vec<u32> = self.simplex.conflict_tags().to_vec();
+        // A refutation found by the interval presolve never reaches the
+        // simplex; its derivation chain's tags seed the core instead.
+        if let Some(cf) = self.propagator.conflict() {
+            if let Some(ts) = &cf.tags {
+                tags.extend_from_slice(ts);
+            }
+        }
         tags.sort_unstable();
         tags.dedup();
         if tags.is_empty() {
@@ -620,6 +872,12 @@ impl Solver {
         self.stats.cores_extracted += 1;
         self.stats.core_members += core.len() as u64;
         self.stats.core_micros += t0.elapsed().as_micros() as u64;
+        // Seed the activity scores from the minimized core: its members
+        // are the proven troublemakers, exactly what disjunct ordering
+        // should meet first.
+        if self.config.propagation {
+            self.bump_activity_of_tags(&core);
+        }
         Some(core.into_iter().map(AssertId).collect())
     }
 
@@ -644,6 +902,7 @@ impl Solver {
             max_branch_nodes: 10_000,
             max_case_splits: 10_000,
             deadline: self.config.deadline,
+            propagation: self.config.propagation,
         });
         let mut map: std::collections::HashMap<Var, Var> = std::collections::HashMap::new();
         for &v in &vars {
@@ -966,6 +1225,10 @@ mod tests {
             cores_extracted: 7,
             core_members: 8,
             core_micros: 9,
+            propagations: 10,
+            propagation_refutations: 11,
+            learned_conflicts: 12,
+            disjuncts_skipped: 13,
         };
         let b = SolverStats {
             checks: 10,
@@ -977,6 +1240,10 @@ mod tests {
             cores_extracted: 70,
             core_members: 80,
             core_micros: 90,
+            propagations: 100,
+            propagation_refutations: 110,
+            learned_conflicts: 120,
+            disjuncts_skipped: 130,
         };
         a.merge(&b);
         assert_eq!(a.checks, 11);
@@ -985,6 +1252,10 @@ mod tests {
         assert_eq!(a.cores_extracted, 77);
         assert_eq!(a.core_members, 88);
         assert_eq!(a.core_micros, 99);
+        assert_eq!(a.propagations, 110);
+        assert_eq!(a.propagation_refutations, 121);
+        assert_eq!(a.learned_conflicts, 132);
+        assert_eq!(a.disjuncts_skipped, 143);
     }
 
     #[test]

@@ -339,11 +339,14 @@ fn chains_array(chains: &[Vec<u64>]) -> String {
     format!("[{}]", items.join(","))
 }
 
-/// Core patterns `(mask, delta)` as an array of two-element arrays,
-/// with the same number encoding (and the same sub-2^53 assumption) as
-/// the context masks inside feasible/infeasible chains.
-fn cores_array(cores: &[(u64, u64)]) -> String {
-    let items: Vec<String> = cores.iter().map(|&(m, d)| format!("[{m},{d}]")).collect();
+/// Core patterns `(mask, held, delta)` as an array of three-element
+/// arrays, with the same number encoding (and the same sub-2^53
+/// assumption) as the context masks inside feasible/infeasible chains.
+fn cores_array(cores: &[(u64, u64, u64)]) -> String {
+    let items: Vec<String> = cores
+        .iter()
+        .map(|&(m, h, d)| format!("[{m},{h},{d}]"))
+        .collect();
     format!("[{}]", items.join(","))
 }
 
@@ -401,7 +404,8 @@ fn stats_json(s: &QueryStats) -> String {
          \"threads\": {}, \"solver\": {{\"checks\": {}, \
          \"branch_nodes\": {}, \"case_splits\": {}, \"pivots\": {}, \"intern_hits\": {}, \
          \"intern_misses\": {}, \"cores_extracted\": {}, \"core_members\": {}, \
-         \"core_micros\": {}}}}}",
+         \"core_micros\": {}, \"propagations\": {}, \"propagation_refutations\": {}, \
+         \"learned_conflicts\": {}, \"disjuncts_skipped\": {}}}}}",
         s.schemas,
         f64_exact(s.avg_segments),
         duration_json(s.duration),
@@ -423,6 +427,10 @@ fn stats_json(s: &QueryStats) -> String {
         s.solver.cores_extracted,
         s.solver.core_members,
         s.solver.core_micros,
+        s.solver.propagations,
+        s.solver.propagation_refutations,
+        s.solver.learned_conflicts,
+        s.solver.disjuncts_skipped,
     )
 }
 
@@ -527,11 +535,14 @@ fn get_i64_array(j: &Json, key: &str) -> Result<Vec<i64>, CheckpointError> {
         .collect()
 }
 
-fn get_cores(j: &Json, key: &str) -> Result<Vec<(u64, u64)>, CheckpointError> {
+fn get_cores(j: &Json, key: &str) -> Result<Vec<(u64, u64, u64)>, CheckpointError> {
     get_chains(j, key)?
         .into_iter()
-        .map(|pair| match pair[..] {
-            [m, d] => Ok((m, d)),
+        .map(|entry| match entry[..] {
+            [m, h, d] => Ok((m, h, d)),
+            // Checkpoints from before held-conditioned patterns store
+            // pairs; they are the unconditional `held = 0` case.
+            [m, d] => Ok((m, 0, d)),
             _ => Err(malformed(key)),
         })
         .collect()
@@ -632,6 +643,12 @@ fn stats_from(j: &Json) -> Result<QueryStats, CheckpointError> {
             cores_extracted: get_u64_number(solver, "cores_extracted")?,
             core_members: get_u64_number(solver, "core_members")?,
             core_micros: get_u64_number(solver, "core_micros")?,
+            // Absent in checkpoints written before the propagation
+            // layer existed; resuming one is still valid.
+            propagations: get_u64_number(solver, "propagations").unwrap_or(0),
+            propagation_refutations: get_u64_number(solver, "propagation_refutations").unwrap_or(0),
+            learned_conflicts: get_u64_number(solver, "learned_conflicts").unwrap_or(0),
+            disjuncts_skipped: get_u64_number(solver, "disjuncts_skipped").unwrap_or(0),
         },
         cache_hits: get_u64_number(j, "cache_hits")?,
         cache_misses: get_u64_number(j, "cache_misses")?,
@@ -776,6 +793,10 @@ mod tests {
                                 cores_extracted: 2,
                                 core_members: 7,
                                 core_micros: 314,
+                                propagations: 21,
+                                propagation_refutations: 6,
+                                learned_conflicts: 3,
+                                disjuncts_skipped: 9,
                             },
                             cache_hits: 3,
                             cache_misses: 4,
@@ -850,7 +871,7 @@ mod tests {
             copies: 2,
             feasible: vec![vec![0], vec![0, 2]],
             infeasible: vec![vec![1]],
-            cores: vec![(0, 1), (2, 4)],
+            cores: vec![(0, 0, 1), (2, 1, 4)],
             complete: true,
         }];
         cp.save_cache(&snapshots).unwrap();
