@@ -18,7 +18,69 @@ pub use holistic_core::json;
 use std::time::Duration;
 
 use holistic_checker::{Checker, CheckerConfig, Strategy, Verdict};
+use holistic_ltl::{Justice, Ltl};
 use holistic_models::{BvBroadcastModel, NaiveConsensusModel, SimplifiedConsensusModel};
+use holistic_ta::ThresholdAutomaton;
+
+/// One Table-2 cell as a *checkable object*: the automaton, the
+/// property and the justice assumption, independent of any particular
+/// driver. `table2` renders these through the symbolic checker;
+/// `holistic-oracle`'s differential harness sweeps the same list
+/// through explicit-state enumeration at small parameters, so the two
+/// pipelines can never silently drift onto different cell sets.
+pub struct Table2Cell {
+    /// Automaton block name as used in reports (`bv-broadcast` …).
+    pub automaton: &'static str,
+    /// Property name (`BV-Just0`, `Inv1_0`, …).
+    pub property: String,
+    /// The automaton.
+    pub ta: ThresholdAutomaton,
+    /// The LTL property.
+    pub spec: Ltl,
+    /// The justice assumption the paper pairs with this automaton.
+    pub justice: Justice,
+}
+
+/// Every cell of the paper's Table 2, in row order: the four
+/// bv-broadcast properties, the three naive-consensus properties and
+/// the five simplified-consensus properties.
+pub fn table2_cells() -> Vec<Table2Cell> {
+    let mut cells = Vec::new();
+    let bv = BvBroadcastModel::new();
+    let justice = bv.justice();
+    for (name, spec) in bv.table2_specs() {
+        cells.push(Table2Cell {
+            automaton: "bv-broadcast",
+            property: name.to_owned(),
+            ta: bv.ta.clone(),
+            spec,
+            justice: justice.clone(),
+        });
+    }
+    let naive = NaiveConsensusModel::new();
+    let justice = naive.justice();
+    for (name, spec) in naive.table2_specs() {
+        cells.push(Table2Cell {
+            automaton: "naive-consensus",
+            property: name.to_owned(),
+            ta: naive.ta.clone(),
+            spec,
+            justice: justice.clone(),
+        });
+    }
+    let simplified = SimplifiedConsensusModel::new();
+    let justice = simplified.justice();
+    for (name, spec) in simplified.table2_specs() {
+        cells.push(Table2Cell {
+            automaton: "simplified-consensus",
+            property: name.to_owned(),
+            ta: simplified.ta.clone(),
+            spec,
+            justice: justice.clone(),
+        });
+    }
+    cells
+}
 
 /// One row of Table 2.
 #[derive(Clone, Debug)]
@@ -208,6 +270,33 @@ mod tests {
         }
         let table = render(&rows);
         assert!(table.contains("BV-Unif0"), "{table}");
+    }
+
+    #[test]
+    fn table2_cells_cover_every_row() {
+        let cells = table2_cells();
+        assert_eq!(cells.len(), 12);
+        let props: Vec<&str> = cells.iter().map(|c| c.property.as_str()).collect();
+        assert_eq!(
+            props,
+            [
+                "BV-Just0",
+                "BV-Obl0",
+                "BV-Unif0",
+                "BV-Term",
+                "Inv1_0",
+                "Inv2_0",
+                "SRoundTerm",
+                "Inv1_0",
+                "Inv2_0",
+                "SRoundTerm",
+                "Good_0",
+                "Dec_0",
+            ]
+        );
+        for c in &cells {
+            assert!(c.ta.validate().is_ok(), "{}/{}", c.automaton, c.property);
+        }
     }
 
     #[test]

@@ -157,6 +157,23 @@ impl Verdict {
             _ => None,
         }
     }
+
+    /// Short label for reports (`verified` / `violated` / `unknown`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Verified => "verified",
+            Verdict::Violated(_) => "violated",
+            Verdict::Unknown(_) => "unknown",
+        }
+    }
+
+    /// The reason string, if the verdict is `Unknown`.
+    pub fn unknown_reason(&self) -> Option<&str> {
+        match self {
+            Verdict::Unknown(r) => Some(r),
+            _ => None,
+        }
+    }
 }
 
 /// Statistics for one query, mirroring the columns of the paper's

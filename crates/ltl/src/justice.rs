@@ -176,6 +176,56 @@ mod tests {
     }
 
     #[test]
+    fn empty_justice_is_the_vacuous_truth() {
+        // No requirements: the tail condition is the empty conjunction,
+        // i.e. literally `True` — every stall is fair. This is the
+        // degenerate case liveness checks hit with `Justice::none()`,
+        // and it must simplify away rather than build `And([])`.
+        let j = Justice::none();
+        assert!(j.requirements.is_empty());
+        assert_eq!(j.as_prop(), Prop::True);
+        let anything = Config {
+            counters: vec![5, 3],
+            shared: vec![7],
+        };
+        assert!(j.as_prop().eval(&anything, &[9, 1]));
+    }
+
+    #[test]
+    fn from_rules_of_pure_self_loop_automaton_is_empty() {
+        // An automaton whose only rules are self-loops generates no
+        // requirements at all — same vacuous-truth tail as none().
+        let mut b = TaBuilder::new("j");
+        let n = b.param("n");
+        let f = b.param("f");
+        b.size_n_minus_f(n, f);
+        let v = b.initial_location("V");
+        b.self_loop(v);
+        let ta = b.build().unwrap();
+        let j = Justice::from_rules(&ta);
+        assert!(j.requirements.is_empty());
+        assert_eq!(j.as_prop(), Prop::True);
+    }
+
+    #[test]
+    fn unguarded_rule_requirement_is_unconditional() {
+        // Guard::always() has no atoms, so the condition is the empty
+        // conjunction `True`: the requirement reduces to "source empty",
+        // unconditionally — ¬True ∨ κ[V]=0 must simplify to κ[V]=0.
+        let mut b = TaBuilder::new("j");
+        let n = b.param("n");
+        let f = b.param("f");
+        b.size_n_minus_f(n, f);
+        let v = b.initial_location("V");
+        let d = b.final_location("D");
+        b.rule("r1", v, d, Guard::always());
+        let ta = b.build().unwrap();
+        let j = Justice::from_rules(&ta);
+        assert_eq!(j.requirements[0].condition, Prop::True);
+        assert_eq!(j.as_prop(), Prop::loc_empty(v));
+    }
+
+    #[test]
     fn clear_and_require_override() {
         let mut b = TaBuilder::new("j");
         let n = b.param("n");

@@ -194,6 +194,51 @@ mod tests {
     }
 
     #[test]
+    fn constants_are_vacuously_stable() {
+        // `True` and `False` never change truth value along a run, and
+        // the simplifying constructors collapse empty (and constant-
+        // absorbing) connectives onto them, so classification treats
+        // them as stable rather than rejecting the formula.
+        let ta = chain();
+        assert!(is_stable(&ta, &Prop::True));
+        assert!(is_stable(&ta, &Prop::False));
+        // Empty location sets collapse to the constants...
+        assert!(is_stable(&ta, &Prop::all_empty([])));
+        assert!(is_stable(&ta, &Prop::any_nonempty([])));
+        // ...and so do connectives over constants.
+        assert!(is_stable(&ta, &Prop::and([Prop::True, Prop::True])));
+        assert!(is_stable(&ta, &Prop::or([Prop::False, Prop::False])));
+    }
+
+    #[test]
+    fn connectives_with_constants_keep_real_members_decisive() {
+        // `True ∧ p` / `False ∨ p` simplify to `p`: the constant must
+        // neither mask an unstable member nor break a stable one.
+        let ta = chain();
+        let a = loc(&ta, "A");
+        let unstable = Prop::loc_empty(a); // inflow from V
+        assert!(!is_stable(&ta, &Prop::and([Prop::True, unstable.clone()])));
+        assert!(!is_stable(&ta, &Prop::or([Prop::False, unstable])));
+        let v = loc(&ta, "V");
+        let stable = Prop::loc_empty(v);
+        assert!(is_stable(&ta, &Prop::and([Prop::True, stable.clone()])));
+        assert!(is_stable(&ta, &Prop::or([Prop::False, stable])));
+    }
+
+    #[test]
+    fn inflow_outflow_of_the_empty_set_is_closed() {
+        // Degenerate set queries must answer "closed", matching the
+        // vacuous quantification they encode.
+        let ta = chain();
+        assert!(inflow_closed(&ta, &[]));
+        assert!(outflow_closed(&ta, &[]));
+        // And the full location set is always closed both ways.
+        let all: Vec<LocationId> = (0..ta.locations.len()).map(LocationId).collect();
+        assert!(inflow_closed(&ta, &all));
+        assert!(outflow_closed(&ta, &all));
+    }
+
+    #[test]
     fn mixed_conjunction() {
         let ta = chain();
         let x = ta.variable_by_name("x").unwrap();

@@ -17,6 +17,10 @@
 //!   through [`Checker::check_matrix`](holistic_checker::Checker),
 //!   counterexamples confirmed via `holistic_sim::replay` (no vacuous
 //!   kills), results rendered as text and JSON;
+//! * [`adjudicate`] — the survivor adjudication hook: the documented
+//!   blind-spot survivors packaged (mutant, pristine automaton,
+//!   properties, justice variants) for `holistic-oracle`'s independent
+//!   explicit-state adjudication;
 //! * [`coverage`] — guard-lattice shape coverage over schedule
 //!   enumeration, and the coverage-guided layer that biases the
 //!   cross-validation random-automaton generator toward shapes not yet
@@ -27,12 +31,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adjudicate;
 pub mod corpus;
 pub mod coverage;
 pub mod generator;
 pub mod kill;
 pub mod operators;
 
+pub use adjudicate::{survivor_cases, AltScenario, SurvivorCase};
 pub use corpus::{
     bv_broadcast_corpus, bv_kill_properties, simplified_corpus, simplified_kill_properties,
     smoke_ids,

@@ -331,6 +331,54 @@ impl ThresholdAutomaton {
             .collect()
     }
 
+    /// The concrete process count at a parameter valuation
+    /// (`size_expr` evaluated).
+    pub fn process_count(&self, params: &[i64]) -> i64 {
+        self.size_expr.eval(params)
+    }
+
+    /// Whether a concrete parameter valuation is admissible: right
+    /// arity, every resilience constraint satisfied, and a positive
+    /// process count.
+    pub fn admits(&self, params: &[i64]) -> bool {
+        params.len() == self.params.len()
+            && self.resilience.iter().all(|c| c.eval(params))
+            && self.process_count(params) > 0
+    }
+
+    /// All admissible parameter valuations with every entry in
+    /// `0..=bound`, smallest first (ordered by process count, then
+    /// lexicographically). This is how explicit-state tools pick the
+    /// "small instantiations" they cross-check the parameterized
+    /// verdicts on.
+    pub fn admissible_valuations(&self, bound: i64) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        let mut current = vec![0i64; self.params.len()];
+        self.enumerate_valuations(0, bound, &mut current, &mut out);
+        out.sort_by_key(|v| (self.process_count(v), v.clone()));
+        out
+    }
+
+    fn enumerate_valuations(
+        &self,
+        idx: usize,
+        bound: i64,
+        current: &mut Vec<i64>,
+        out: &mut Vec<Vec<i64>>,
+    ) {
+        if idx == self.params.len() {
+            if self.admits(current) {
+                out.push(current.clone());
+            }
+            return;
+        }
+        for v in 0..=bound {
+            current[idx] = v;
+            self.enumerate_valuations(idx + 1, bound, current, out);
+        }
+        current[idx] = 0;
+    }
+
     /// Size summary `(unique guards, locations, rules)` as reported in
     /// the paper's Table 2.
     pub fn size_summary(&self) -> (usize, usize, usize) {

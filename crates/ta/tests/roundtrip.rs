@@ -101,6 +101,15 @@ fn build(spec: &TaSpec) -> ThresholdAutomaton {
     b.build().expect("spec produces a valid automaton")
 }
 
+/// Characters the parser's grammar actually traffics in, plus a few
+/// alien ones — random soup over these hits keywords, numbers and
+/// near-miss punctuation far more often than uniform Unicode would.
+const GRAMMAR_SOUP: [char; 40] = [
+    'a', 'b', 'l', 'o', 'c', 'r', 'u', 'e', 's', 'i', 'z', 'n', 't', 'f', 'x', 'y', '0', '1', '2',
+    '9', ':', ';', ',', '.', '<', '>', '=', '+', '-', '*', '(', ')', '[', ']', '{', '}', ' ', '\n',
+    '\t', '\u{3bb}',
+];
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(200))]
 
@@ -111,6 +120,43 @@ proptest! {
         let reparsed = parse_ta(&printed)
             .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         prop_assert_eq!(&ta, &reparsed, "\n{}", printed);
+    }
+
+    #[test]
+    fn malformed_input_errors_never_panic(
+        chars in prop::collection::vec(
+            prop::sample::select(GRAMMAR_SOUP.to_vec()),
+            0..200,
+        ),
+    ) {
+        // Arbitrary soup of grammar-adjacent characters: the parser
+        // must return Err (or, for the rare accidentally-valid text,
+        // Ok) — never panic.
+        let src: String = chars.into_iter().collect();
+        let _ = parse_ta(&src);
+    }
+
+    #[test]
+    fn mangled_valid_source_never_panics(
+        spec in ta_spec(),
+        cut in 0usize..10_000,
+        insert in prop::collection::vec(
+            prop::sample::select(GRAMMAR_SOUP.to_vec()),
+            0..12,
+        ),
+    ) {
+        // Take a genuinely valid printed automaton and damage it:
+        // truncate at an arbitrary position and splice in grammar
+        // fragments. The parser sees near-miss inputs (the hard case
+        // for panics) and must still fail gracefully.
+        let ta = build(&spec);
+        let printed = to_ta_source(&ta);
+        let pos = cut % (printed.len() + 1); // printed is ASCII
+        let truncated = &printed[..pos];
+        let _ = parse_ta(truncated);
+        let middle: String = insert.into_iter().collect();
+        let spliced = format!("{}{}{}", truncated, middle, &printed[pos..]);
+        let _ = parse_ta(&spliced);
     }
 
     #[test]
