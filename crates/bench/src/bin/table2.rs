@@ -4,6 +4,7 @@
 //! cargo run --release -p holistic-bench --bin table2            # decomposed blocks
 //! cargo run --release -p holistic-bench --bin table2 -- --naive # + the timeout block
 //! cargo run --release -p holistic-bench --bin table2 -- --naive-cap 100000
+//! cargo run --release -p holistic-bench --bin table2 -- --profile # span/counter report
 //! ```
 //!
 //! The decomposed blocks (bv-broadcast + simplified consensus) are what
@@ -13,6 +14,7 @@
 
 use std::env;
 
+use holistic_bench::trace::render_profile;
 use holistic_bench::{bv_broadcast_rows, naive_rows, render, simplified_rows};
 use holistic_checker::{count_schedules, Checker, GuardInfo};
 use holistic_models::NaiveConsensusModel;
@@ -27,8 +29,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2_000usize);
 
+    let profile = args.iter().any(|a| a == "--profile");
+    if profile {
+        holistic_obs::set_enabled(true);
+    }
+
     let checker = Checker::new();
     let start = std::time::Instant::now();
+    let run_span = holistic_obs::span("bench.run");
 
     println!("Table 2 — holistic verification of the Red Belly / DBFT consensus");
     println!("==================================================================");
@@ -65,5 +73,12 @@ fn main() {
     } else {
         println!("(pass --naive to also run the naive-automaton explosion block)");
     }
+    drop(run_span);
     println!("total wall clock: {:.1?}", start.elapsed());
+    if profile {
+        let wall_us = start.elapsed().as_micros() as u64;
+        let snapshot = holistic_obs::drain();
+        println!();
+        print!("{}", render_profile(&snapshot, wall_us, 10));
+    }
 }

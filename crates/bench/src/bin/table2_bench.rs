@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p holistic-bench --bin table2_bench -- \
 //!     [--quick] [--iters N] [--threads N] [--out PATH] [--baseline PATH] \
-//!     [--automaton NAME] [--property NAME]
+//!     [--automaton NAME] [--property NAME] \
+//!     [--trace PATH] [--profile] [--max-total-regression FRAC]
 //! ```
 //!
 //! Runs the full decomposed Table 2 matrix (bv-broadcast + simplified
@@ -37,14 +38,23 @@
 //! a second iteration would just reload the checkpoint. The
 //! `HOLISTIC_CHAOS` env hook (`panic-every=N,budget-ms=M`) injects
 //! worker panics and a tiny budget for the CI chaos-smoke job.
+//!
+//! `--trace PATH` enables the [`holistic_obs`] span collector and
+//! writes a JSONL trace of the whole run; `--profile` prints the
+//! hierarchical self/child time table (per phase and per property) to
+//! stdout. Both are verdict-inert: tracing only observes.
+//! `--max-total-regression FRAC` (with `--baseline`) additionally
+//! fails the run when the total wall time exceeds the baseline total
+//! by more than the given fraction — the CI gate that keeps
+//! disabled-mode tracing overhead honest.
 
 use std::env;
-use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use holistic_bench::json::{escape, num, Json};
+use holistic_bench::json::{num, Json, Writer};
+use holistic_bench::trace;
 use holistic_checker::{CheckReport, Checker, CheckerConfig, MatrixJob, Verdict};
 use holistic_models::{BvBroadcastModel, SimplifiedConsensusModel};
 use holistic_supervise::{ChaosOptions, Checkpoint, SupervisedJob, Supervisor, SupervisorConfig};
@@ -175,6 +185,7 @@ fn run_matrix(
             ta: &bv.ta,
             spec,
             justice: &bv_justice,
+            label: name,
         });
     }
     for (name, spec) in &sc_specs {
@@ -183,6 +194,7 @@ fn run_matrix(
             ta: &sc.ta,
             spec,
             justice: &sc_justice,
+            label: name,
         });
     }
 
@@ -374,13 +386,6 @@ fn emit(
 ) -> String {
     let total_ms: f64 = results.iter().map(|r| r.wall_ms).sum();
     let threads = results.first().map_or(1, |r| r.threads);
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema_version\": 1,");
-    let _ = writeln!(out, "  \"generated_by\": \"table2_bench\",");
-    let _ = writeln!(out, "  \"threads\": {threads},");
-    let _ = writeln!(out, "  \"iters\": {iters},");
-    let _ = writeln!(out, "  \"total_wall_ms\": {},", num(total_ms));
     // Farkas-certificate core pipeline: patterns learned, extension
     // attempts they pruned, and the average extracted-core size
     // (members per certificate, from the cumulative solver counters).
@@ -394,85 +399,73 @@ fn emit(
     } else {
         members as f64 / extracted as f64
     };
-    let _ = writeln!(out, "  \"cores_learned\": {cores_learned},");
-    let _ = writeln!(out, "  \"schemas_pruned_by_core\": {pruned_by_core},");
-    let _ = writeln!(out, "  \"core_avg_size\": {},", num(core_avg_size));
+    let mut w = Writer::pretty();
+    w.begin_obj()
+        .field_u64("schema_version", 1)
+        .field_str("generated_by", "table2_bench")
+        .field_u64("threads", threads as u64)
+        .field_u64("iters", iters as u64)
+        .field_raw("total_wall_ms", &num(total_ms))
+        .field_u64("cores_learned", cores_learned)
+        .field_u64("schemas_pruned_by_core", pruned_by_core)
+        .field_raw("core_avg_size", &num(core_avg_size));
     // Supervisor overhead: time spent writing checkpoint files. Null
     // when checkpointing was off, so the perf trajectory can tell "no
     // checkpointing" from "free checkpointing".
     match supervisor_overhead_ms {
         Some(ms) => {
-            let _ = writeln!(out, "  \"supervisor_overhead_ms\": {},", num(ms));
+            w.field_raw("supervisor_overhead_ms", &num(ms));
         }
         None => {
-            let _ = writeln!(out, "  \"supervisor_overhead_ms\": null,");
+            w.field_null("supervisor_overhead_ms");
         }
     }
     if let Some((file, base_ms, speedup)) = baseline {
-        let _ = writeln!(out, "  \"baseline_file\": \"{}\",", escape(file));
-        let _ = writeln!(out, "  \"baseline_total_wall_ms\": {},", num(base_ms));
-        let _ = writeln!(out, "  \"speedup_vs_baseline\": {},", num(speedup));
+        w.field_str("baseline_file", file)
+            .field_raw("baseline_total_wall_ms", &num(base_ms))
+            .field_raw("speedup_vs_baseline", &num(speedup));
     }
-    out.push_str("  \"properties\": [\n");
-    for (i, r) in results.iter().enumerate() {
+    w.key("properties").begin_arr();
+    for r in results {
         let hit_rate = if r.cache_hits + r.cache_misses > 0 {
             r.cache_hits as f64 / (r.cache_hits + r.cache_misses) as f64
         } else {
             0.0
         };
-        out.push_str("    {\n");
-        let _ = writeln!(out, "      \"automaton\": \"{}\",", escape(r.automaton));
-        let _ = writeln!(out, "      \"property\": \"{}\",", escape(&r.property));
-        let _ = writeln!(out, "      \"verdict\": \"{}\",", r.verdict);
-        let _ = writeln!(out, "      \"schemas\": {},", r.schemas);
-        let _ = writeln!(out, "      \"avg_segments\": {},", num(r.avg_segments));
-        let _ = writeln!(out, "      \"wall_ms\": {},", num(r.wall_ms));
-        let _ = writeln!(out, "      \"cache_hits\": {},", r.cache_hits);
-        let _ = writeln!(out, "      \"cache_misses\": {},", r.cache_misses);
-        let _ = writeln!(out, "      \"cache_hit_rate\": {},", num(hit_rate));
-        let _ = writeln!(out, "      \"replayed\": {},", r.replayed);
-        let _ = writeln!(out, "      \"cores_learned\": {},", r.cores_learned);
-        let _ = writeln!(
-            out,
-            "      \"schemas_pruned_by_core\": {},",
-            r.schemas_pruned_by_core
-        );
-        out.push_str("      \"solver\": {\n");
         let s = &r.solver;
-        let _ = writeln!(out, "        \"checks\": {},", s.checks);
-        let _ = writeln!(out, "        \"branch_nodes\": {},", s.branch_nodes);
-        let _ = writeln!(out, "        \"case_splits\": {},", s.case_splits);
-        let _ = writeln!(out, "        \"pivots\": {},", s.pivots);
-        let _ = writeln!(out, "        \"propagations\": {},", s.propagations);
-        let _ = writeln!(
-            out,
-            "        \"propagation_refutations\": {},",
-            s.propagation_refutations
-        );
-        let _ = writeln!(
-            out,
-            "        \"learned_conflicts\": {},",
-            s.learned_conflicts
-        );
-        let _ = writeln!(
-            out,
-            "        \"disjuncts_skipped\": {},",
-            s.disjuncts_skipped
-        );
-        let _ = writeln!(out, "        \"intern_hits\": {},", s.intern_hits);
-        let _ = writeln!(out, "        \"intern_misses\": {},", s.intern_misses);
-        let _ = writeln!(out, "        \"cores_extracted\": {},", s.cores_extracted);
-        let _ = writeln!(out, "        \"core_members\": {},", s.core_members);
-        let _ = writeln!(out, "        \"core_micros\": {}", s.core_micros);
-        out.push_str("      }\n");
-        out.push_str(if i + 1 == results.len() {
-            "    }\n"
-        } else {
-            "    },\n"
-        });
+        w.begin_obj()
+            .field_str("automaton", r.automaton)
+            .field_str("property", &r.property)
+            .field_str("verdict", r.verdict)
+            .field_u64("schemas", r.schemas as u64)
+            .field_raw("avg_segments", &num(r.avg_segments))
+            .field_raw("wall_ms", &num(r.wall_ms))
+            .field_u64("cache_hits", r.cache_hits)
+            .field_u64("cache_misses", r.cache_misses)
+            .field_raw("cache_hit_rate", &num(hit_rate))
+            .field_bool("replayed", r.replayed)
+            .field_u64("cores_learned", r.cores_learned)
+            .field_u64("schemas_pruned_by_core", r.schemas_pruned_by_core)
+            .key("solver")
+            .begin_obj()
+            .field_u64("checks", s.checks)
+            .field_u64("branch_nodes", s.branch_nodes)
+            .field_u64("case_splits", s.case_splits)
+            .field_u64("pivots", s.pivots)
+            .field_u64("propagations", s.propagations)
+            .field_u64("propagation_refutations", s.propagation_refutations)
+            .field_u64("learned_conflicts", s.learned_conflicts)
+            .field_u64("disjuncts_skipped", s.disjuncts_skipped)
+            .field_u64("intern_hits", s.intern_hits)
+            .field_u64("intern_misses", s.intern_misses)
+            .field_u64("cores_extracted", s.cores_extracted)
+            .field_u64("core_members", s.core_members)
+            .field_u64("core_micros", s.core_micros)
+            .end_obj()
+            .end_obj();
     }
-    out.push_str("  ]\n}\n");
-    out
+    w.end_arr().end_obj();
+    w.finish()
 }
 
 /// Compares this run against a baseline document. Returns the list of
@@ -587,6 +580,10 @@ fn main() -> ExitCode {
         automaton: flag_value("--automaton").cloned(),
         property: flag_value("--property").cloned(),
     };
+    let trace_path = flag_value("--trace").cloned();
+    let profile_on = args.iter().any(|a| a == "--profile");
+    let max_total_regression: Option<f64> =
+        flag_value("--max-total-regression").and_then(|s| s.parse().ok());
     let resume_dir = flag_value("--resume").map(PathBuf::from);
     let checkpoint_dir = flag_value("--checkpoint").map(PathBuf::from);
     let supervise = match (resume_dir, checkpoint_dir) {
@@ -624,6 +621,13 @@ fn main() -> ExitCode {
         "table2_bench: {iters} iteration(s), threads={}",
         threads.map_or("auto".to_owned(), |t| t.to_string())
     );
+    // Tracing is strictly opt-in: without these flags the collector
+    // stays disabled and every span/counter call is a near-no-op.
+    if trace_path.is_some() || profile_on {
+        holistic_obs::set_enabled(true);
+    }
+    let run_started = Instant::now();
+    let run_span = holistic_obs::span("bench.run");
     let mut results: Vec<PropResult> = Vec::new();
     let mut supervisor_overhead = Duration::ZERO;
     for iter in 0..iters {
@@ -681,6 +685,9 @@ fn main() -> ExitCode {
         );
     }
 
+    drop(run_span);
+    let wall_us = run_started.elapsed().as_micros() as u64;
+
     if results.is_empty() {
         eprintln!("no properties match the filter");
         return ExitCode::FAILURE;
@@ -707,6 +714,19 @@ fn main() -> ExitCode {
     std::fs::write(out_path, &doc).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 
+    if trace_path.is_some() || profile_on {
+        let snapshot = holistic_obs::drain();
+        if let Some(path) = &trace_path {
+            let trace_doc = trace::write_trace(&snapshot, wall_us, "table2_bench");
+            std::fs::write(path, &trace_doc)
+                .unwrap_or_else(|e| panic!("cannot write trace {path}: {e}"));
+            eprintln!("wrote trace {path} ({} spans)", snapshot.spans.len());
+        }
+        if profile_on {
+            print!("{}", trace::render_profile(&snapshot, wall_us, 10));
+        }
+    }
+
     if let Some((failures, base_total)) = comparison {
         let total: f64 = results.iter().map(|r| r.wall_ms).sum();
         eprintln!(
@@ -725,6 +745,29 @@ fn main() -> ExitCode {
         eprintln!(
             "baseline comparison passed (verdicts stable, no >{REGRESSION_FACTOR}x regression)"
         );
+        // The tight total-wall gate (CI: tracing-disabled overhead must
+        // stay within a few percent of the recorded baseline). Only
+        // meaningful for a full, same-thread-count matrix run.
+        if let Some(frac) = max_total_regression {
+            if filter.is_full() && base_total > 0.0 {
+                let limit = base_total * (1.0 + frac);
+                if total > limit {
+                    eprintln!(
+                        "TOTAL WALL REGRESSION: {total:.1} ms vs baseline {base_total:.1} ms \
+                         (limit +{:.0}% = {limit:.1} ms)",
+                        frac * 100.0
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "total-wall gate passed: {total:.1} ms <= {limit:.1} ms \
+                     (baseline {base_total:.1} ms +{:.0}%)",
+                    frac * 100.0
+                );
+            } else {
+                eprintln!("total-wall gate skipped (filtered run or empty baseline)");
+            }
+        }
     }
     ExitCode::SUCCESS
 }

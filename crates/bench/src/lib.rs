@@ -15,6 +15,8 @@
 
 pub use holistic_core::json;
 
+pub mod trace;
+
 use std::time::Duration;
 
 use holistic_checker::{Checker, CheckerConfig, Strategy, Verdict};

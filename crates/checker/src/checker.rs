@@ -517,6 +517,7 @@ impl Checker {
         justice: &Justice,
         deadline: Option<Instant>,
     ) -> Result<QueryReport, CheckError> {
+        let _span = holistic_obs::span("checker.query");
         let start = Instant::now();
         let plan = QueryPlan::new(ta, query, justice);
         // The context vocabulary is the automaton's rule guards: schema
@@ -600,7 +601,10 @@ impl Checker {
                         deadline,
                         mode: CacheMode::Record { pruner: None },
                     };
-                    let out = self.explore(&spec)?;
+                    let out = {
+                        let _span = holistic_obs::span("checker.skeleton");
+                        self.explore(&spec)?
+                    };
                     let covered = out.fully_covered();
                     skeleton_cores_learned = out.cores_learned;
                     skeleton_pruned_by_core = out.pruned_by_core;
@@ -759,9 +763,12 @@ impl Checker {
             }
         }
 
+        let explore_span = holistic_obs::span("checker.explore");
+        let explore_id = explore_span.id();
         let mut workers: Vec<Worker<'_>> = Vec::with_capacity(threads);
         if threads == 1 {
             // Fully sequential: no pool, byte-deterministic.
+            let _span = holistic_obs::span("checker.worker");
             let mut w = Worker::new(&ex);
             run_isolated(&mut w);
             workers.push(w);
@@ -770,6 +777,10 @@ impl Checker {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
                         scope.spawn(|| {
+                            // Worker spans live on pool threads; parent
+                            // them under this exploration's span.
+                            let _adopt = holistic_obs::adopt(explore_id);
+                            let _span = holistic_obs::span("checker.worker");
                             let mut w = Worker::new(&ex);
                             run_isolated(&mut w);
                             w
@@ -871,6 +882,11 @@ impl Checker {
         enc.assert_prop_at(&plan.initially, 0);
         plan.assert_query(&mut enc, info);
         let result = enc.check();
+        // Monolithic queries bypass the worker pool, so publish their
+        // registry deltas here (the pool publishes per worker).
+        holistic_obs::add("checker.schemas", 1);
+        holistic_obs::add("checker.segments", num_segments as u64);
+        enc.solver_stats().publish();
         let stats = QueryStats {
             schemas: 1,
             avg_segments: num_segments as f64,
@@ -1019,8 +1035,6 @@ struct Worker<'a> {
 /// speed — verdicts, schema counts, and counterexamples are unchanged.
 const REBUILD_ROWS: usize = 768;
 
-// TEMP PROFILING
-
 impl<'a> Worker<'a> {
     fn new(ex: &'a Explore<'a>) -> Worker<'a> {
         Worker {
@@ -1074,6 +1088,22 @@ impl<'a> Worker<'a> {
             }
         }
         self.solver.merge(&enc.solver_stats());
+        self.publish();
+    }
+
+    /// Publishes this worker's accumulated statistics to the global
+    /// [`holistic_obs`] metrics registry, once, on the worker's own
+    /// thread at the end of its run. Counter totals therefore equal the
+    /// cross-worker merge [`Checker::explore`] performs — the
+    /// reconciliation tests rely on this equality.
+    fn publish(&self) {
+        holistic_obs::add("checker.schemas", self.schemas as u64);
+        holistic_obs::add("checker.segments", self.total_segments as u64);
+        holistic_obs::add("checker.cache_hits", self.cache_hits);
+        holistic_obs::add("checker.cache_misses", self.cache_misses);
+        holistic_obs::add("checker.cores_learned", self.cores_learned);
+        holistic_obs::add("checker.schemas_pruned_by_core", self.pruned_by_core);
+        self.solver.publish();
     }
 
     /// A fresh encoding holding only the base assertions (no segments).
@@ -1328,6 +1358,7 @@ impl<'a> Worker<'a> {
         if let Some(&pruned) = self.ex.query_probes.lock().unwrap().get(&ctx) {
             return pruned;
         }
+        let _span = holistic_obs::span("checker.query_probe");
         let started = Instant::now();
         let spec = self.ex.spec;
         let mut probe = self.fresh_encoding();
@@ -1350,6 +1381,7 @@ impl<'a> Worker<'a> {
     /// probe's wall time) are folded into this worker's statistics: the
     /// probe is certificate machinery, not lattice search.
     fn probe_core_pattern(&mut self, prev: u64, newly: u64) -> Option<(u64, u64, u64)> {
+        let _span = holistic_obs::span("checker.core_probe");
         let started = Instant::now();
         let mut enc = self.fresh_encoding();
         let pattern = enc.probe_core_pattern(prev, newly);
@@ -1364,6 +1396,7 @@ impl<'a> Worker<'a> {
     }
 
     fn smt_feasibility(&mut self, enc: &mut Encoding<'_>, chain: &[u64], record: bool) -> bool {
+        let _span = holistic_obs::span("checker.feasibility");
         self.cache_misses += 1;
         match enc.check() {
             SatResult::Sat(_) => {
@@ -1441,12 +1474,14 @@ impl<'a> Worker<'a> {
                 // Seed the case-split planner with the guards the
                 // learned certificates keep refuting, so any boundary
                 // disjunction the query emits fronts those branches.
+                let query_span = holistic_obs::span("checker.query_check");
                 enc.set_hot_guards(self.core_hot_guards());
                 enc.push_query();
                 enc.assert_tail_exact();
                 plan.assert_query(enc, spec.info);
                 let result = enc.check();
                 enc.pop_query();
+                drop(query_span);
                 match result {
                     SatResult::Sat(model) => {
                         let run = enc.extract(&model);

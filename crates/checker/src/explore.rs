@@ -599,12 +599,19 @@ impl ExplorationCache {
 
     /// A complete exploration recorded under exactly `key`, if any.
     pub fn replayable(&self, key: &ExplorationKey) -> Option<Arc<Exploration>> {
-        self.shard(key)
+        let hit = self
+            .shard(key)
             .lock()
             .unwrap()
             .get(key)
             .filter(|e| e.is_complete())
-            .cloned()
+            .cloned();
+        if hit.is_some() {
+            holistic_obs::add("cache.replay_hit", 1);
+        } else {
+            holistic_obs::add("cache.replay_miss", 1);
+        }
+        hit
     }
 
     /// All recorded explorations whose infeasible verdicts soundly
@@ -628,8 +635,10 @@ impl ExplorationCache {
             }
         }
         if sources.is_empty() && core_sources.is_empty() && feasible_sources.is_empty() {
+            holistic_obs::add("cache.pruner_miss", 1);
             None
         } else {
+            holistic_obs::add("cache.pruner_hit", 1);
             Some(Pruner {
                 sources,
                 core_sources,
@@ -641,6 +650,7 @@ impl ExplorationCache {
     /// Stores an exploration. A complete recording is never replaced by
     /// an incomplete one.
     pub fn insert(&self, e: Exploration) {
+        holistic_obs::add("cache.inserts", 1);
         let mut map = self.shard(&e.key).lock().unwrap();
         match map.get(&e.key) {
             Some(old) if old.is_complete() && !e.is_complete() => {}

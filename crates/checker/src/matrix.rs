@@ -39,6 +39,10 @@ pub struct MatrixJob<'a> {
     pub spec: &'a Ltl,
     /// The justice assumption for liveness reduction.
     pub justice: &'a Justice,
+    /// Human-readable cell name (the property label). Only used as the
+    /// label of the cell's `checker.cell` tracing span, so `--profile`
+    /// can attribute time per property; empty is fine.
+    pub label: &'a str,
 }
 
 impl Checker {
@@ -62,9 +66,13 @@ impl Checker {
         let results: Vec<Mutex<Option<Result<CheckReport, CheckError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
+        // Matrix workers are detached threads; parent their cell spans
+        // under whatever span the caller currently has open.
+        let parent = holistic_obs::current();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    let _adopt = holistic_obs::adopt(parent);
                     let i = next.fetch_add(1, Ordering::SeqCst);
                     if i >= n {
                         break;
@@ -86,6 +94,7 @@ impl Checker {
     /// `Verdict::Unknown("worker panic: ...")` report instead of
     /// aborting the whole matrix run.
     pub fn check_cell(&self, job: &MatrixJob<'_>) -> Result<CheckReport, CheckError> {
+        let _span = holistic_obs::span_labeled("checker.cell", job.label);
         let start = Instant::now();
         match catch_unwind(AssertUnwindSafe(|| {
             self.check_ltl(job.ta, job.spec, job.justice)

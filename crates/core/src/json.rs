@@ -273,6 +273,243 @@ pub fn num(x: f64) -> String {
     }
 }
 
+/// A complete JSON string literal: `s` escaped and double-quoted.
+pub fn quote(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Exact JSON rendering of an `f64`: Rust's shortest round-tripping
+/// `Display`, for fields (checkpoints) that must reload bit-identical.
+/// Non-finite values — which no pipeline field produces — degrade to 0.
+pub fn num_exact(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// A streaming JSON writer — the single emitter behind the bench
+/// report, the supervisor's checkpoints and the observability traces,
+/// so string escaping and number formatting cannot drift between them.
+///
+/// Two layouts: [`Writer::pretty`] (two-space indent, one field per
+/// line — the human-diffable bench report) and [`Writer::compact`]
+/// (no whitespace — checkpoint cells, JSONL trace lines). Both parse
+/// back with [`Json::parse`].
+///
+/// The writer is sequence-checked only by construction: callers are
+/// expected to call `key` exactly once before each value inside an
+/// object, matching `begin_*`/`end_*` pairs. It never panics on
+/// misuse; it just emits what it was told.
+#[derive(Debug)]
+pub struct Writer {
+    buf: String,
+    pretty: bool,
+    /// One entry per open container: whether a separator is due before
+    /// the next element.
+    needs_comma: Vec<bool>,
+    /// The next value follows a key, so it must not emit a separator.
+    pending_value: bool,
+}
+
+impl Writer {
+    /// A writer producing two-space-indented, line-per-field JSON.
+    pub fn pretty() -> Writer {
+        Writer {
+            buf: String::new(),
+            pretty: true,
+            needs_comma: Vec::new(),
+            pending_value: false,
+        }
+    }
+
+    /// A writer producing whitespace-free JSON.
+    pub fn compact() -> Writer {
+        Writer {
+            buf: String::new(),
+            pretty: false,
+            needs_comma: Vec::new(),
+            pending_value: false,
+        }
+    }
+
+    /// Separator (comma + newline/indent) before a new element in the
+    /// current container, or just the indent for the first element.
+    fn sep(&mut self) {
+        if let Some(due) = self.needs_comma.last_mut() {
+            if *due {
+                self.buf.push(',');
+            }
+            *due = true;
+            if self.pretty {
+                self.buf.push('\n');
+                for _ in 0..self.needs_comma.len() {
+                    self.buf.push_str("  ");
+                }
+            }
+        }
+    }
+
+    /// Newline + indent before a closing bracket (pretty mode only).
+    fn close_pad(&mut self) {
+        if self.pretty && self.needs_comma.last() == Some(&true) {
+            self.buf.push('\n');
+            for _ in 0..self.needs_comma.len().saturating_sub(1) {
+                self.buf.push_str("  ");
+            }
+        }
+    }
+
+    /// Writes an object key; the next call must write its value.
+    pub fn key(&mut self, k: &str) -> &mut Writer {
+        self.sep();
+        self.buf.push_str(&quote(k));
+        self.buf.push(':');
+        if self.pretty {
+            self.buf.push(' ');
+        }
+        // The value directly follows the key: suppress its separator.
+        self.pending_value = true;
+        self
+    }
+
+    /// Writes a pre-rendered JSON value (`raw` must be valid JSON).
+    pub fn raw(&mut self, raw: &str) -> &mut Writer {
+        self.value_prefix();
+        self.buf.push_str(raw);
+        self
+    }
+
+    fn value_prefix(&mut self) {
+        if self.pending_value {
+            self.pending_value = false;
+        } else {
+            self.sep();
+        }
+    }
+
+    /// Opens an object (as a value or array element).
+    pub fn begin_obj(&mut self) -> &mut Writer {
+        self.value_prefix();
+        self.buf.push('{');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) -> &mut Writer {
+        self.close_pad();
+        self.needs_comma.pop();
+        self.buf.push('}');
+        self
+    }
+
+    /// Opens an array (as a value or array element).
+    pub fn begin_arr(&mut self) -> &mut Writer {
+        self.value_prefix();
+        self.buf.push('[');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) -> &mut Writer {
+        self.close_pad();
+        self.needs_comma.pop();
+        self.buf.push(']');
+        self
+    }
+
+    /// Writes a string value.
+    pub fn str_value(&mut self, s: &str) -> &mut Writer {
+        let q = quote(s);
+        self.value_prefix();
+        self.buf.push_str(&q);
+        self
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64_value(&mut self, v: u64) -> &mut Writer {
+        self.value_prefix();
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Writes a boolean value.
+    pub fn bool_value(&mut self, v: bool) -> &mut Writer {
+        self.value_prefix();
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Writes `null`.
+    pub fn null_value(&mut self) -> &mut Writer {
+        self.value_prefix();
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Writes an `f64` value in the bench's 3-decimal [`num`] format.
+    pub fn num_value(&mut self, v: f64) -> &mut Writer {
+        let n = num(v);
+        self.value_prefix();
+        self.buf.push_str(&n);
+        self
+    }
+
+    /// Writes an `f64` value in exact [`num_exact`] format.
+    pub fn num_exact_value(&mut self, v: f64) -> &mut Writer {
+        let n = num_exact(v);
+        self.value_prefix();
+        self.buf.push_str(&n);
+        self
+    }
+
+    /// `key` + string value.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Writer {
+        self.key(k).str_value(v)
+    }
+
+    /// `key` + unsigned integer value.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Writer {
+        self.key(k).u64_value(v)
+    }
+
+    /// `key` + boolean value.
+    pub fn field_bool(&mut self, k: &str, v: bool) -> &mut Writer {
+        self.key(k).bool_value(v)
+    }
+
+    /// `key` + [`num`]-formatted value.
+    pub fn field_num(&mut self, k: &str, v: f64) -> &mut Writer {
+        self.key(k).num_value(v)
+    }
+
+    /// `key` + [`num_exact`]-formatted value.
+    pub fn field_num_exact(&mut self, k: &str, v: f64) -> &mut Writer {
+        self.key(k).num_exact_value(v)
+    }
+
+    /// `key` + pre-rendered JSON value.
+    pub fn field_raw(&mut self, k: &str, raw: &str) -> &mut Writer {
+        self.key(k).raw(raw)
+    }
+
+    /// `key` + `null`.
+    pub fn field_null(&mut self, k: &str) -> &mut Writer {
+        self.key(k).null_value()
+    }
+
+    /// The finished document (with a trailing newline in pretty mode).
+    pub fn finish(mut self) -> String {
+        if self.pretty {
+            self.buf.push('\n');
+        }
+        self.buf
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,5 +550,83 @@ mod tests {
         assert_eq!(num(90.0), "90");
         assert_eq!(num(12.3456), "12.346");
         assert_eq!(Json::parse(&num(1e15)).unwrap().as_f64(), Some(1e15));
+    }
+
+    #[test]
+    fn num_exact_round_trips() {
+        let x = 0.1 + 0.2;
+        assert_eq!(num_exact(x).parse::<f64>().unwrap(), x);
+        assert_eq!(num_exact(f64::NAN), "0");
+        assert_eq!(quote("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn writer_compact_round_trips() {
+        let mut w = Writer::compact();
+        w.begin_obj()
+            .field_str("name", "bv\"cast")
+            .field_u64("n", 3)
+            .field_bool("ok", true)
+            .field_null("none")
+            .key("xs")
+            .begin_arr()
+            .u64_value(1)
+            .u64_value(2)
+            .end_arr()
+            .key("nested")
+            .begin_obj()
+            .field_num("ms", 12.3456)
+            .field_num_exact("exact", 0.1 + 0.2)
+            .end_obj()
+            .end_obj();
+        let doc = w.finish();
+        assert!(!doc.contains('\n'), "{doc}");
+        let j = Json::parse(&doc).unwrap();
+        assert_eq!(j.get("name").unwrap().as_str(), Some("bv\"cast"));
+        assert_eq!(j.get("xs").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(
+            j.get("nested").unwrap().get("exact").unwrap().as_f64(),
+            Some(0.1 + 0.2)
+        );
+    }
+
+    #[test]
+    fn writer_pretty_round_trips_and_indents() {
+        let mut w = Writer::pretty();
+        w.begin_obj()
+            .field_u64("schema_version", 1)
+            .key("rows")
+            .begin_arr()
+            .begin_obj()
+            .field_str("p", "BV-Just0")
+            .end_obj()
+            .begin_obj()
+            .field_str("p", "BV-Term")
+            .end_obj()
+            .end_arr()
+            .end_obj();
+        let doc = w.finish();
+        assert!(doc.ends_with("}\n"), "{doc}");
+        assert!(doc.contains("\n  \"schema_version\": 1"), "{doc}");
+        assert!(doc.contains("\n      \"p\": \"BV-Just0\""), "{doc}");
+        let j = Json::parse(&doc).unwrap();
+        assert_eq!(j.get("rows").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn writer_empty_containers() {
+        let mut w = Writer::pretty();
+        w.begin_obj()
+            .key("a")
+            .begin_arr()
+            .end_arr()
+            .key("o")
+            .begin_obj()
+            .end_obj()
+            .end_obj();
+        let doc = w.finish();
+        let j = Json::parse(&doc).unwrap();
+        assert_eq!(j.get("a").unwrap().as_array(), Some(&[][..]));
+        assert_eq!(j.get("o").unwrap(), &Json::Obj(Vec::new()));
     }
 }

@@ -95,6 +95,26 @@ impl SolverStats {
         self.learned_conflicts += other.learned_conflicts;
         self.disjuncts_skipped += other.disjuncts_skipped;
     }
+
+    /// Publishes every field to the global [`holistic_obs`] metrics
+    /// registry under the `lia.*` counter names. A no-op unless tracing
+    /// is enabled; callers flush once per worker (not per check) so the
+    /// registry sums match a per-worker [`merge`](Self::merge) exactly.
+    pub fn publish(&self) {
+        holistic_obs::add("lia.checks", self.checks);
+        holistic_obs::add("lia.branch_nodes", self.branch_nodes);
+        holistic_obs::add("lia.case_splits", self.case_splits);
+        holistic_obs::add("lia.pivots", self.pivots);
+        holistic_obs::add("lia.intern_hits", self.intern_hits);
+        holistic_obs::add("lia.intern_misses", self.intern_misses);
+        holistic_obs::add("lia.cores_extracted", self.cores_extracted);
+        holistic_obs::add("lia.core_members", self.core_members);
+        holistic_obs::add("lia.core_micros", self.core_micros);
+        holistic_obs::add("lia.propagations", self.propagations);
+        holistic_obs::add("lia.propagation_refutations", self.propagation_refutations);
+        holistic_obs::add("lia.learned_conflicts", self.learned_conflicts);
+        holistic_obs::add("lia.disjuncts_skipped", self.disjuncts_skipped);
+    }
 }
 
 /// Identifier of a tracked assertion (see [`Solver::assert_tracked`]),
@@ -479,6 +499,7 @@ impl Solver {
     /// here is proportional to the number of *deferred disjunctions*
     /// plus branch-and-bound, not to the total assertion count.
     pub fn check(&mut self) -> SatResult {
+        let _span = holistic_obs::span("lia.check");
         self.stats.checks += 1;
         // Conflict tags accumulate across every infeasibility the search
         // encounters below; start the union fresh so unsat_core() after
@@ -491,16 +512,22 @@ impl Solver {
         // fixpoint at the *current* level, so derived bounds persist
         // incrementally across checks. A conflict here refutes the check
         // without a single pivot.
-        if self.config.propagation && self.propagator.propagate() {
-            if Rat::take_overflow_flag() {
-                self.poisoned = true;
+        if self.config.propagation {
+            let refuted = {
+                let _span = holistic_obs::span("lia.presolve");
+                self.propagator.propagate()
+            };
+            if refuted {
+                if Rat::take_overflow_flag() {
+                    self.poisoned = true;
+                }
+                if self.poisoned {
+                    return SatResult::Unknown(UnknownReason::RatOverflow);
+                }
+                self.stats.propagation_refutations += 1;
+                self.bump_conflict_activity();
+                return SatResult::Unsat;
             }
-            if self.poisoned {
-                return SatResult::Unknown(UnknownReason::RatOverflow);
-            }
-            self.stats.propagation_refutations += 1;
-            self.bump_conflict_activity();
-            return SatResult::Unsat;
         }
         let goals: Vec<Formula> = self
             .levels
@@ -513,7 +540,10 @@ impl Solver {
         };
         self.simplex.push();
         self.propagator.push();
-        let result = self.search(goals, &mut budget);
+        let result = {
+            let _span = holistic_obs::span("lia.search");
+            self.search(goals, &mut budget)
+        };
         self.propagator.pop();
         self.simplex.pop();
         // Saturated rational arithmetic (anywhere since the last check:
@@ -828,6 +858,7 @@ impl Solver {
     /// never indicates the problem is satisfiable; it only means no
     /// certificate could be isolated.
     pub fn unsat_core(&mut self) -> Option<Vec<AssertId>> {
+        let _span = holistic_obs::span("lia.core");
         let t0 = std::time::Instant::now();
         let mut tags: Vec<u32> = self.simplex.conflict_tags().to_vec();
         // A refutation found by the interval presolve never reaches the
@@ -872,6 +903,7 @@ impl Solver {
         self.stats.cores_extracted += 1;
         self.stats.core_members += core.len() as u64;
         self.stats.core_micros += t0.elapsed().as_micros() as u64;
+        holistic_obs::observe("lia.core_size", core.len() as u64);
         // Seed the activity scores from the minimized core: its members
         // are the proven troublemakers, exactly what disjunct ordering
         // should meet first.

@@ -184,6 +184,7 @@ pub fn run_kill_matrix(
                 ta: &mutants[i].ta,
                 spec,
                 justice: &justices[k],
+                label: name,
             });
             job_ids.push((mutants[i].id.clone(), name.clone()));
         }

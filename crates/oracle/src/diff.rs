@@ -26,7 +26,7 @@
 
 use std::time::Duration;
 
-use holistic_bench::json::escape;
+use holistic_bench::json::quote as q;
 use holistic_bench::table2_cells;
 use holistic_checker::{Checker, CheckerConfig, GuardInfo, Verdict};
 use holistic_ltl::{classify, Justice, Ltl};
@@ -38,10 +38,6 @@ use holistic_ta::ThresholdAutomaton;
 
 use crate::decide::{combined_verdict, decide_query, decide_spec, OracleVerdict};
 use crate::replay::replay_counterexample;
-
-fn q(s: &str) -> String {
-    format!("\"{}\"", escape(s))
-}
 
 /// Budgets and scope for a differential run.
 #[derive(Clone, Debug)]

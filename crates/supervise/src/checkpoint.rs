@@ -21,7 +21,6 @@
 //! shortest round-tripping `Display`, never the bench emitter's
 //! 3-decimal rounding.
 
-use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -31,7 +30,7 @@ use holistic_checker::{
     CeStep, CheckReport, Counterexample, ExplorationSnapshot, QueryReport, QueryStats, Strategy,
     Verdict,
 };
-use holistic_core::json::{escape, Json};
+use holistic_core::json::{num_exact, quote, Json, Writer};
 use holistic_lia::SolverStats;
 use holistic_ta::{Config, RuleId};
 
@@ -124,19 +123,18 @@ impl Checkpoint {
         let cp = Checkpoint {
             dir: dir.to_path_buf(),
         };
-        let mut body = String::new();
-        let _ = write!(
-            body,
-            "{{\n  \"version\": {CHECKPOINT_VERSION},\n  \"label\": \"{}\",\n  \
-             \"master_seed\": \"{master_seed}\",\n  \"cells\": [",
-            escape(label)
-        );
-        for (i, id) in cells.iter().enumerate() {
-            let sep = if i == 0 { "" } else { "," };
-            let _ = write!(body, "{sep}\n    \"{}\"", escape(id));
+        let mut w = Writer::pretty();
+        w.begin_obj()
+            .field_u64("version", CHECKPOINT_VERSION)
+            .field_str("label", label)
+            .field_str("master_seed", &master_seed.to_string())
+            .key("cells")
+            .begin_arr();
+        for id in cells {
+            w.str_value(id);
         }
-        body.push_str("\n  ]\n}\n");
-        cp.write_atomic(&cp.dir.join("manifest.json"), &body)?;
+        w.end_arr().end_obj();
+        cp.write_atomic(&cp.dir.join("manifest.json"), &w.finish())?;
         Ok(cp)
     }
 
@@ -224,30 +222,25 @@ impl Checkpoint {
     ///
     /// Propagates filesystem errors.
     pub fn save_cache(&self, snapshots: &[ExplorationSnapshot]) -> Result<(), CheckpointError> {
-        let mut body = String::new();
-        let _ = write!(
-            body,
-            "{{\n  \"version\": {CHECKPOINT_VERSION},\n  \"explorations\": ["
-        );
-        for (i, s) in snapshots.iter().enumerate() {
-            let sep = if i == 0 { "" } else { "," };
-            let _ = write!(
-                body,
-                "{sep}\n    {{\"automaton\": \"{}\", \"globally_empty\": {}, \
-                 \"initially\": \"{}\", \"copies\": {}, \"complete\": {}, \
-                 \"feasible\": {}, \"infeasible\": {}, \"cores\": {}}}",
-                s.automaton,
-                usize_array(&s.globally_empty),
-                escape(&s.initially),
-                s.copies,
-                s.complete,
-                chains_array(&s.feasible),
-                chains_array(&s.infeasible),
-                cores_array(&s.cores),
-            );
+        let mut w = Writer::pretty();
+        w.begin_obj()
+            .field_u64("version", CHECKPOINT_VERSION)
+            .key("explorations")
+            .begin_arr();
+        for s in snapshots {
+            w.begin_obj()
+                .field_str("automaton", &s.automaton.to_string())
+                .field_raw("globally_empty", &usize_array(&s.globally_empty))
+                .field_str("initially", &s.initially)
+                .field_u64("copies", s.copies as u64)
+                .field_bool("complete", s.complete)
+                .field_raw("feasible", &chains_array(&s.feasible))
+                .field_raw("infeasible", &chains_array(&s.infeasible))
+                .field_raw("cores", &cores_array(&s.cores))
+                .end_obj();
         }
-        body.push_str("\n  ]\n}\n");
-        self.write_atomic(&self.dir.join("cache.json"), &body)
+        w.end_arr().end_obj();
+        self.write_atomic(&self.dir.join("cache.json"), &w.finish())
     }
 
     /// Loads the exploration-cache snapshot, if one was saved.
@@ -309,16 +302,6 @@ fn cell_file_name(id: &str) -> String {
 
 // ---------------------------------------------------------------- emit
 
-/// Exact JSON rendering of an `f64` (shortest round-trip `Display`);
-/// non-finite values — which no stats field produces — degrade to 0.
-fn f64_exact(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "0".to_owned()
-    }
-}
-
 fn usize_array(xs: &[usize]) -> String {
     let items: Vec<String> = xs.iter().map(usize::to_string).collect();
     format!("[{}]", items.join(","))
@@ -370,7 +353,7 @@ fn verdict_json(v: &Verdict) -> String {
     match v {
         Verdict::Verified => "{\"kind\": \"verified\"}".to_owned(),
         Verdict::Unknown(msg) => {
-            format!("{{\"kind\": \"unknown\", \"reason\": \"{}\"}}", escape(msg))
+            format!("{{\"kind\": \"unknown\", \"reason\": {}}}", quote(msg))
         }
         Verdict::Violated(ce) => {
             let steps: Vec<String> = ce
@@ -397,41 +380,38 @@ fn verdict_json(v: &Verdict) -> String {
 }
 
 fn stats_json(s: &QueryStats) -> String {
-    format!(
-        "{{\"schemas\": {}, \"avg_segments\": {}, \"duration\": {}, \"capped\": {}, \
-         \"timed_out\": {}, \"strategy\": \"{}\", \"cache_hits\": {}, \"cache_misses\": {}, \
-         \"replayed\": {}, \"cores_learned\": {}, \"schemas_pruned_by_core\": {}, \
-         \"threads\": {}, \"solver\": {{\"checks\": {}, \
-         \"branch_nodes\": {}, \"case_splits\": {}, \"pivots\": {}, \"intern_hits\": {}, \
-         \"intern_misses\": {}, \"cores_extracted\": {}, \"core_members\": {}, \
-         \"core_micros\": {}, \"propagations\": {}, \"propagation_refutations\": {}, \
-         \"learned_conflicts\": {}, \"disjuncts_skipped\": {}}}}}",
-        s.schemas,
-        f64_exact(s.avg_segments),
-        duration_json(s.duration),
-        s.capped,
-        s.timed_out,
-        s.strategy,
-        s.cache_hits,
-        s.cache_misses,
-        s.replayed,
-        s.cores_learned,
-        s.schemas_pruned_by_core,
-        s.threads,
-        s.solver.checks,
-        s.solver.branch_nodes,
-        s.solver.case_splits,
-        s.solver.pivots,
-        s.solver.intern_hits,
-        s.solver.intern_misses,
-        s.solver.cores_extracted,
-        s.solver.core_members,
-        s.solver.core_micros,
-        s.solver.propagations,
-        s.solver.propagation_refutations,
-        s.solver.learned_conflicts,
-        s.solver.disjuncts_skipped,
-    )
+    let mut w = Writer::compact();
+    w.begin_obj()
+        .field_u64("schemas", s.schemas as u64)
+        .field_raw("avg_segments", &num_exact(s.avg_segments))
+        .field_raw("duration", &duration_json(s.duration))
+        .field_bool("capped", s.capped)
+        .field_bool("timed_out", s.timed_out)
+        .field_str("strategy", &s.strategy.to_string())
+        .field_u64("cache_hits", s.cache_hits)
+        .field_u64("cache_misses", s.cache_misses)
+        .field_bool("replayed", s.replayed)
+        .field_u64("cores_learned", s.cores_learned)
+        .field_u64("schemas_pruned_by_core", s.schemas_pruned_by_core)
+        .field_u64("threads", s.threads as u64)
+        .key("solver")
+        .begin_obj()
+        .field_u64("checks", s.solver.checks)
+        .field_u64("branch_nodes", s.solver.branch_nodes)
+        .field_u64("case_splits", s.solver.case_splits)
+        .field_u64("pivots", s.solver.pivots)
+        .field_u64("intern_hits", s.solver.intern_hits)
+        .field_u64("intern_misses", s.solver.intern_misses)
+        .field_u64("cores_extracted", s.solver.cores_extracted)
+        .field_u64("core_members", s.solver.core_members)
+        .field_u64("core_micros", s.solver.core_micros)
+        .field_u64("propagations", s.solver.propagations)
+        .field_u64("propagation_refutations", s.solver.propagation_refutations)
+        .field_u64("learned_conflicts", s.solver.learned_conflicts)
+        .field_u64("disjuncts_skipped", s.solver.disjuncts_skipped)
+        .end_obj()
+        .end_obj();
+    w.finish()
 }
 
 fn cell_to_json(r: &CellRecord) -> String {
@@ -448,20 +428,20 @@ fn cell_to_json(r: &CellRecord) -> String {
         })
         .collect();
     let failure = match r.failure {
-        Some(k) => format!("\"{k}\""),
+        Some(k) => quote(&k.to_string()),
         None => "null".to_owned(),
     };
     let note = match &r.note {
-        Some(n) => format!("\"{}\"", escape(n)),
+        Some(n) => quote(n),
         None => "null".to_owned(),
     };
     format!(
-        "{{\n  \"version\": {CHECKPOINT_VERSION},\n  \"id\": \"{}\",\n  \"attempts\": {},\n  \
-         \"rung\": \"{}\",\n  \"failure\": {failure},\n  \"note\": {note},\n  \
+        "{{\n  \"version\": {CHECKPOINT_VERSION},\n  \"id\": {},\n  \"attempts\": {},\n  \
+         \"rung\": {},\n  \"failure\": {failure},\n  \"note\": {note},\n  \
          \"duration\": {},\n  \"queries\": [\n{}\n  ]\n}}\n",
-        escape(&r.id),
+        quote(&r.id),
         r.attempts,
-        r.rung,
+        quote(&r.rung.to_string()),
         duration_json(r.report.duration),
         queries.join(",\n")
     )

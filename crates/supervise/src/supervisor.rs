@@ -237,9 +237,13 @@ impl Supervisor {
                 *fresh[slot].lock().unwrap() = Some(outcome);
             }
         } else {
+            // Supervision workers run cells on their own threads; parent
+            // their spans under the caller's current span.
+            let parent = holistic_obs::current();
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
+                        let _adopt = holistic_obs::adopt(parent);
                         let slot = next.fetch_add(1, Ordering::SeqCst);
                         if slot >= remaining.len() {
                             break;
@@ -298,10 +302,12 @@ impl Supervisor {
 
     /// The retry + degradation state machine for one cell.
     fn supervise_cell(&self, checker: &Checker, job: &SupervisedJob<'_>) -> CellRecord {
+        let _span = holistic_obs::span_labeled("supervise.cell", &job.id);
         let matrix_job = MatrixJob {
             ta: job.ta,
             spec: job.spec,
             justice: job.justice,
+            label: &job.property,
         };
         let mut attempts = 0u64;
         loop {
@@ -319,6 +325,7 @@ impl Supervisor {
                     );
                 }
             }
+            let attempt_span = holistic_obs::span_labeled("supervise.attempt", "full");
             let report = match checker.check_cell(&matrix_job) {
                 Ok(report) => report,
                 Err(e) => {
@@ -335,6 +342,7 @@ impl Supervisor {
                     );
                 }
             };
+            drop(attempt_span);
             let failure = report
                 .queries
                 .iter()
@@ -350,6 +358,7 @@ impl Supervisor {
                 };
             };
             if kind.is_transient() && attempts <= self.config.max_retries {
+                holistic_obs::add("supervise.retries", 1);
                 self.backoff(&job.id, attempts);
                 continue;
             }
@@ -376,6 +385,8 @@ impl Supervisor {
         let jitter_pct: u64 = rng.gen_range(50..150);
         let delay = exp.mul_f64(jitter_pct as f64 / 100.0);
         if !delay.is_zero() {
+            let _span = holistic_obs::span("supervise.backoff");
+            holistic_obs::add("supervise.backoff_ms", delay.as_millis() as u64);
             std::thread::sleep(delay);
         }
     }
@@ -411,6 +422,7 @@ impl Supervisor {
         if !self.config.ladder.enabled {
             return record;
         }
+        holistic_obs::add("supervise.rung_drops", 1);
         // Rung 2: depth-bounded re-check. A Violated verdict here is
         // real (counterexamples are replay-validated regardless of the
         // bound), and a Verified one means the whole lattice happened
@@ -418,6 +430,7 @@ impl Supervisor {
         // the Unknown report. Skipped for rejected models, which the
         // bounded checker rejects identically.
         if kind != FailureKind::ModelError {
+            let _span = holistic_obs::span_labeled("supervise.attempt", "depth-bounded");
             let mut config = self.config.checker.clone();
             config.max_schemas = self.config.ladder.depth_schemas;
             config.time_budget = self.config.ladder.depth_budget;
@@ -429,6 +442,7 @@ impl Supervisor {
                 ta: job.ta,
                 spec: job.spec,
                 justice: job.justice,
+                label: &job.property,
             };
             if let Ok(report) = bounded.check_cell(&matrix_job) {
                 let definite = !matches!(report.verdict(), Verdict::Unknown(_));
@@ -447,6 +461,7 @@ impl Supervisor {
         // adversarial runs can refute the property but never prove it,
         // so the verdict stays Unknown; the note records what the
         // sweep saw.
+        let _span = holistic_obs::span_labeled("supervise.attempt", "simulation");
         let seed = self.config.master_seed ^ stable_hash(&job.id);
         let mut plan = FaultPlan::standard(seed);
         if self.config.ladder.sim_scenarios > 0 {

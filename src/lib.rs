@@ -10,5 +10,6 @@ pub use holistic_lia as lia;
 pub use holistic_ltl as ltl;
 pub use holistic_models as models;
 pub use holistic_mutate as mutate;
+pub use holistic_obs as obs;
 pub use holistic_sim as sim;
 pub use holistic_ta as ta;

@@ -194,6 +194,7 @@ fn matrix_scheduler_matches_inline_walk() {
             ta: &bv.ta,
             spec,
             justice: &bv_justice,
+            label: name,
         });
     }
     for (name, spec) in &sc_specs {
@@ -202,6 +203,7 @@ fn matrix_scheduler_matches_inline_walk() {
             ta: &sc.ta,
             spec,
             justice: &sc_justice,
+            label: name,
         });
     }
     let concurrent: Vec<CheckReport> = checker(true, 100_000)
@@ -246,11 +248,13 @@ fn matrix_scheduler_finds_identical_counterexamples() {
             ta: &model.ta,
             spec: &spec,
             justice: &justice,
+            label: "Inv1_0",
         },
         MatrixJob {
             ta: &model.ta,
             spec: &spec,
             justice: &justice,
+            label: "Inv1_0",
         },
     ];
     let reports: Vec<CheckReport> = checker(true, 100_000)
@@ -495,6 +499,79 @@ fn propagation_preserves_counterexamples() {
         format!("{:?}", on.verdict()),
         format!("{:?}", off.verdict()),
         "counterexamples must be byte-identical with propagation on vs off"
+    );
+}
+
+#[test]
+fn tracing_is_verdict_inert() {
+    // Enabling the observability layer must be invisible to the
+    // checker: spans and counters are recorded on the side, so verdicts
+    // (including counterexamples), schema counts, and average schema
+    // lengths must be byte-identical with tracing on and off. Runs the
+    // full bv-broadcast block plus a violated property so both verdict
+    // polarities are covered.
+    struct DisableOnDrop;
+    impl Drop for DisableOnDrop {
+        fn drop(&mut self) {
+            holistic_obs::set_enabled(false);
+            holistic_obs::reset();
+        }
+    }
+    let _guard = DisableOnDrop;
+
+    let bv = BvBroadcastModel::new();
+    let bv_justice = bv.justice();
+    let weakened = SimplifiedConsensusModel::with_resilience(2);
+    let weakened_justice = weakened.justice();
+    let inv1 = weakened.inv1(0);
+
+    let run = || -> Vec<String> {
+        let shared = checker(true, 100_000);
+        let mut out = Vec::new();
+        for (name, spec) in bv.table2_specs() {
+            let report = shared
+                .check_ltl(&bv.ta, &spec, &bv_justice)
+                .expect("in fragment");
+            out.push(format!(
+                "{name}: {:?} schemas={} avg={} queries={}",
+                report.verdict(),
+                report.total_schemas(),
+                report.avg_segments(),
+                report.queries.len(),
+            ));
+        }
+        let violated = checker(true, 100_000)
+            .check_ltl(&weakened.ta, &inv1, &weakened_justice)
+            .expect("in fragment");
+        assert!(violated.verdict().is_violated(), "Inv1_0 under n > 2t");
+        out.push(format!("Inv1_0-weak: {:?}", violated.verdict()));
+        out
+    };
+
+    holistic_obs::set_enabled(false);
+    let silent = run();
+
+    holistic_obs::reset();
+    holistic_obs::set_enabled(true);
+    let traced = run();
+    holistic_obs::flush();
+    let snapshot = holistic_obs::drain();
+
+    assert_eq!(
+        silent, traced,
+        "tracing must be verdict-inert: every report byte-identical"
+    );
+    assert!(
+        !snapshot.spans.is_empty(),
+        "the traced run must actually record spans"
+    );
+    assert!(
+        holistic_obs::counter_value("checker.schemas") > 0
+            || snapshot
+                .counters
+                .iter()
+                .any(|(n, v)| n == "checker.schemas" && *v > 0),
+        "the traced run must actually publish counters"
     );
 }
 

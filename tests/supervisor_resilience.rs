@@ -36,10 +36,11 @@ fn injected_worker_panic_degrades_cell_not_the_matrix() {
     let specs = model.table2_specs();
     let jobs: Vec<MatrixJob<'_>> = specs
         .iter()
-        .map(|(_, spec)| MatrixJob {
+        .map(|(name, spec)| MatrixJob {
             ta: &model.ta,
             spec,
             justice: &justice,
+            label: name,
         })
         .collect();
     let checker = Checker::with_config(CheckerConfig {
@@ -72,10 +73,11 @@ fn isolation_wrapper_is_transparent_without_chaos() {
     let specs = model.table2_specs();
     let jobs: Vec<MatrixJob<'_>> = specs
         .iter()
-        .map(|(_, spec)| MatrixJob {
+        .map(|(name, spec)| MatrixJob {
             ta: &model.ta,
             spec,
             justice: &justice,
+            label: name,
         })
         .collect();
     let checker = Checker::with_config(CheckerConfig {
